@@ -1,0 +1,64 @@
+//! Checkpoint writing: full state saving vs the incremental extension
+//! (paper §8 lists incremental checkpointing as ongoing work; implemented
+//! in `statesave::incremental`). With a 5% mutation rate between
+//! checkpoints, the delta write is a fraction of the full write.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use statesave::{CkptStore, IncrementalSaver};
+use std::collections::BTreeMap;
+
+fn state(chunks: usize, chunk_kb: usize, version: u8) -> BTreeMap<String, Vec<u8>> {
+    (0..chunks)
+        .map(|i| {
+            // Chunk 0 always changes with `version`; others are stable.
+            let fill = if i == 0 { version } else { i as u8 };
+            (format!("chunk-{i:04}"), vec![fill; chunk_kb << 10])
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let root = std::env::temp_dir().join(format!("c3-ckptbench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = CkptStore::new(&root).unwrap();
+
+    let mut g = c.benchmark_group("ckpt_write");
+    for chunks in [20usize, 100] {
+        let full: usize = (chunks * 64) << 10;
+        g.throughput(Throughput::Bytes(full as u64));
+        g.bench_with_input(BenchmarkId::new("full", chunks), &chunks, |b, &chunks| {
+            let mut version = 0u64;
+            b.iter(|| {
+                version += 1;
+                let st = state(chunks, 64, version as u8);
+                let mut e = statesave::Encoder::new();
+                for (k, v) in &st {
+                    e.str(k);
+                    e.bytes(v);
+                }
+                store.write_section(version, 0, "full_state", &e.finish()).unwrap();
+                black_box(version)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", chunks), &chunks, |b, &chunks| {
+            let mut saver = IncrementalSaver::new();
+            // Baseline full checkpoint outside the timed loop.
+            let _ = saver.checkpoint(&state(chunks, 64, 0));
+            let mut version = 1_000u64;
+            b.iter(|| {
+                version += 1;
+                let st = state(chunks, 64, version as u8);
+                let delta = saver.checkpoint(&st);
+                let mut e = statesave::Encoder::new();
+                delta.save(&mut e);
+                store.write_section(version, 0, "delta", &e.finish()).unwrap();
+                black_box(delta.payload_bytes())
+            })
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

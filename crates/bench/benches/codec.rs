@@ -1,0 +1,58 @@
+//! Checkpoint codec throughput: the paper saves "all data as binary,
+//! irrespective of the data's type" for efficiency (§5); the codec should be
+//! memcpy-bound on bulk arrays.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use statesave::codec::{Decoder, Encoder};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for mb in [1usize, 8] {
+        let floats = vec![0.12345f64; mb << 17]; // mb MiB of f64
+        g.throughput(Throughput::Bytes((floats.len() * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("encode_f64_slice", mb), &mb, |b, _| {
+            b.iter(|| {
+                let mut e = Encoder::new();
+                e.f64_slice(black_box(&floats));
+                black_box(e.finish().len())
+            })
+        });
+        let encoded = {
+            let mut e = Encoder::new();
+            e.f64_slice(&floats);
+            e.finish()
+        };
+        g.bench_with_input(BenchmarkId::new("decode_f64_vec", mb), &mb, |b, _| {
+            b.iter(|| {
+                let mut d = Decoder::new(black_box(&encoded));
+                black_box(d.f64_vec().unwrap().len())
+            })
+        });
+    }
+    // Small mixed records: the headers/counters part of a checkpoint.
+    g.bench_function("mixed_small_records", |b| {
+        b.iter(|| {
+            let mut e = Encoder::new();
+            for i in 0..256u64 {
+                e.u64(i);
+                e.str("section-name");
+                e.bool(i % 2 == 0);
+                e.i64(-(i as i64));
+            }
+            let buf = e.finish();
+            let mut d = Decoder::new(&buf);
+            let mut acc = 0u64;
+            for _ in 0..256 {
+                acc += d.u64().unwrap();
+                let _ = d.str().unwrap();
+                let _ = d.bool().unwrap();
+                let _ = d.i64().unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

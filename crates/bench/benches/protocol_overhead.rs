@@ -1,0 +1,59 @@
+//! End-to-end per-operation overhead of the co-ordination layer: the same
+//! two-rank ring application on the raw substrate vs under C³ with no
+//! checkpoints (the continuous book-keeping of Tables 2/3, as a
+//! microbenchmark).
+
+use c3::{C3Config, C3Error};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpisim::JobSpec;
+
+const ITERS: u64 = 64;
+
+fn bench(c: &mut Criterion) {
+    let spec = JobSpec::new(2);
+    let store = std::env::temp_dir().join(format!("c3-povh-{}", std::process::id()));
+
+    let mut g = c.benchmark_group("protocol_overhead");
+    g.sample_size(20);
+    g.bench_function("ring_raw", |b| {
+        b.iter(|| {
+            let h = mpisim::launch(&spec, |ctx| {
+                let me = ctx.rank();
+                let n = ctx.nranks();
+                let mut acc = 0u64;
+                for i in 0..ITERS {
+                    ctx.send_bytes((me + 1) % n, 3, mpisim::COMM_WORLD, 0, &i.to_le_bytes())?;
+                    let (b, _) =
+                        ctx.recv_bytes(((me + n - 1) % n) as i32, 3, mpisim::COMM_WORLD)?;
+                    acc = acc.wrapping_add(u64::from_le_bytes(b[..8].try_into().unwrap()));
+                }
+                Ok(acc)
+            })
+            .unwrap();
+            black_box(h.results[0])
+        })
+    });
+    g.bench_function("ring_c3_passive", |b| {
+        let cfg = C3Config::passive(&store);
+        b.iter(|| {
+            let h = c3::run_job(&spec, &cfg, |ctx| -> Result<u64, C3Error> {
+                let me = ctx.rank();
+                let n = ctx.nranks();
+                let mut acc = 0u64;
+                for i in 0..ITERS {
+                    ctx.send((me + 1) % n, 3, &[i])?;
+                    let (v, _) = ctx.recv::<u64>(((me + n - 1) % n) as i32, 3)?;
+                    acc = acc.wrapping_add(v[0]);
+                }
+                Ok(acc)
+            })
+            .unwrap();
+            black_box(h.results[0])
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Registry operation costs: the bookkeeping the protocol does on every
+//! message during the logging phases (§3) and recovery.
+
+use c3::registries::{EarlyRegistry, ReplayLog, StreamKind, StreamSig, WasEarlyRegistry};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sig(i: usize) -> StreamSig {
+    StreamSig { src: i % 16, dst: (i + 1) % 16, comm: 0, kind: StreamKind::P2p { tag: (i % 8) as i32 } }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("registries");
+    for n in [64usize, 512, 4096] {
+        g.bench_with_input(BenchmarkId::new("late_log_push_take", n), &n, |b, &n| {
+            let payload = vec![0u8; 256];
+            b.iter(|| {
+                let mut log = ReplayLog::new();
+                for i in 0..n {
+                    log.push_late(sig(i), payload.clone());
+                }
+                let mut taken = 0;
+                for i in 0..n {
+                    let s = sig(i);
+                    if let StreamKind::P2p { tag } = s.kind {
+                        if log.take_p2p_match(s.src as i32, tag, s.comm).is_some() {
+                            taken += 1;
+                        }
+                    }
+                }
+                black_box(taken)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("early_record_suppress", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut early = EarlyRegistry::new();
+                for i in 0..n {
+                    early.push(sig(i));
+                }
+                let mut was = WasEarlyRegistry::new();
+                for src in 0..16 {
+                    for s in early.entries_from(src) {
+                        was.add(s);
+                    }
+                }
+                let mut hits = 0;
+                for i in 0..n {
+                    if was.try_suppress(&sig(i)) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

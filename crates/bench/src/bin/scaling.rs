@@ -1,0 +1,8 @@
+//! §6.4's scaling claim as a standalone binary: project the measured
+//! per-checkpoint cost to hourly and daily checkpointing frequencies.
+
+use c3_bench::tables;
+
+fn main() {
+    tables::scaling_table(4).print();
+}

@@ -1,0 +1,21 @@
+//! Table 2 — runtime overhead without checkpoints on the Lemieux platform
+//! model (§6.2). Rank counts {2, 4, 8} stand in for the paper's
+//! {64, 256, 1024}; the reproduced shape is "overhead below ~10% with no
+//! growth trend in the rank count".
+
+use c3_bench::{paper, tables};
+use mpisim::ClusterModel;
+
+fn main() {
+    let t = tables::overhead_table(
+        "Table 2 — runtimes without checkpoints (Lemieux model; paper procs 64/256/1024 -> 2/4/8)",
+        |_| ClusterModel::lemieux(),
+        &[2, 4, 8],
+        paper::TABLE2_LEMIEUX_64,
+    );
+    t.print();
+    println!("\nPaper's overhead sweep across 64/256/1024 procs (reference):");
+    for (code, ohs) in paper::TABLE2_OVERHEAD_SWEEP {
+        println!("  {code:8} {:?}", ohs);
+    }
+}

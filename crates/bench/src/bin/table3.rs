@@ -1,0 +1,19 @@
+//! Table 3 — runtime overhead without checkpoints on the Velocity 2 model
+//! (§6.2); HPL ran on CMI in the paper, mirrored here.
+
+use c3_bench::runner::Bench;
+use c3_bench::{paper, tables};
+use mpisim::ClusterModel;
+
+fn main() {
+    let t = tables::overhead_table(
+        "Table 3 — runtimes without checkpoints (Velocity 2 / CMI models; procs -> 2/4/8)",
+        |b| match b {
+            Bench::Hpl(_) => ClusterModel::cmi(),
+            _ => ClusterModel::velocity2(),
+        },
+        &[2, 4, 8],
+        paper::TABLE3_VELOCITY2,
+    );
+    t.print();
+}

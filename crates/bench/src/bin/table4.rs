@@ -1,0 +1,22 @@
+//! Table 4 — overhead with one mid-run checkpoint (Lemieux model, §6.4):
+//! configuration #1 (no checkpoint), #2 (checkpoint, no disk), #3
+//! (checkpoint to local disk), plus checkpoint size per process, checkpoint
+//! cost (#3 - #1), and the Checkpoint-Initiated control message count (the
+//! §4.5 scalability measure). Pass `--scale` to append the §6.4 hourly /
+//! daily projection.
+
+use c3_bench::{paper, tables};
+use mpisim::ClusterModel;
+
+fn main() {
+    let t = tables::with_ckpt_table(
+        "Table 4 — runtimes with checkpoints (Lemieux model, 4 ranks)",
+        |_| ClusterModel::lemieux(),
+        4,
+        paper::TABLE4_LEMIEUX_64,
+    );
+    t.print();
+    if std::env::args().any(|a| a == "--scale") {
+        tables::scaling_table(4).print();
+    }
+}

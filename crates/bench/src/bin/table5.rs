@@ -1,0 +1,19 @@
+//! Table 5 — overhead with one mid-run checkpoint on the Velocity 2 / CMI
+//! models (§6.4).
+
+use c3_bench::runner::Bench;
+use c3_bench::{paper, tables};
+use mpisim::ClusterModel;
+
+fn main() {
+    let t = tables::with_ckpt_table(
+        "Table 5 — runtimes with checkpoints (Velocity 2 / CMI models, 4 ranks)",
+        |b| match b {
+            Bench::Hpl(_) => ClusterModel::cmi(),
+            _ => ClusterModel::velocity2(),
+        },
+        4,
+        paper::TABLE5_VELOCITY2,
+    );
+    t.print();
+}

@@ -1,0 +1,14 @@
+//! Table 6 — restart cost, uniprocessor, Lemieux model (§6.5), using the
+//! paper's two-run method: (restart-to-end) - (last-commit-to-end).
+
+use c3_bench::{paper, tables};
+use mpisim::ClusterModel;
+
+fn main() {
+    tables::restart_table(
+        "Table 6 — restart costs, uniprocessor (Lemieux model)",
+        ClusterModel::lemieux(),
+        paper::TABLE6_LEMIEUX,
+    )
+    .print();
+}

@@ -1,0 +1,13 @@
+//! Table 7 — restart cost, uniprocessor, CMI model (§6.5).
+
+use c3_bench::{paper, tables};
+use mpisim::ClusterModel;
+
+fn main() {
+    tables::restart_table(
+        "Table 7 — restart costs, uniprocessor (CMI model)",
+        ClusterModel::cmi(),
+        paper::TABLE7_CMI,
+    )
+    .print();
+}

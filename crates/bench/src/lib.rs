@@ -1,0 +1,28 @@
+//! # c3-bench — the paper-reproduction harness
+//!
+//! One binary per table of the paper's evaluation (§6):
+//!
+//! | binary   | paper content                                             |
+//! |----------|-----------------------------------------------------------|
+//! | `table1` | checkpoint sizes, C³ (ALC) vs Condor-style SLC, 8 codes   |
+//! | `table2` | runtime overhead without checkpoints, Lemieux model       |
+//! | `table3` | the same on the Velocity 2 / CMI models                   |
+//! | `table4` | overhead with checkpoints (configs #1/#2/#3), Lemieux     |
+//! | `table5` | the same on Velocity 2 / CMI                              |
+//! | `table6` | restart cost, uniprocessor, Lemieux model                 |
+//! | `table7` | the same on the CMI model                                 |
+//! | `scaling`| §6.4's hourly/daily checkpoint overhead projection        |
+//!
+//! Each binary prints our measured rows next to the paper's reported rows.
+//! Criterion microbenchmarks under `benches/` cover the design-choice
+//! ablations called out in DESIGN.md §5 (piggyback encoding, logging phase
+//! split, registry operations, codec throughput, checkpoint writing,
+//! end-to-end per-operation protocol overhead).
+
+pub mod paper;
+pub mod tables;
+pub mod report;
+pub mod runner;
+
+pub use report::{Align, Table};
+pub use runner::{run_c3, run_original, Bench, Timed};

@@ -1,0 +1,191 @@
+//! The paper's reported numbers, used as reference columns in the table
+//! binaries so our measurements can be compared against the published shape.
+//!
+//! Source: Schulz, Bronevetsky, Fernandes, Marques, Pingali, Stodghill —
+//! "Implementation and Evaluation of a Scalable Application-level
+//! Checkpoint-Recovery Scheme for MPI Programs", SC 2004, Tables 1-7.
+
+/// One Table 1 row: checkpoint sizes in MB on a uniprocessor.
+pub struct Table1Row {
+    /// Benchmark (class in parentheses in the paper).
+    pub code: &'static str,
+    /// Condor checkpoint size, MB (Linux platform row).
+    pub condor_mb: f64,
+    /// C³ checkpoint size, MB.
+    pub c3_mb: f64,
+    /// Relative reduction, percent.
+    pub reduction_pct: f64,
+}
+
+/// Table 1, Linux platform (the paper also lists Solaris with the same
+/// shape).
+pub const TABLE1_LINUX: &[Table1Row] = &[
+    Table1Row { code: "BT (A)", condor_mb: 307.13, c3_mb: 306.39, reduction_pct: 0.24 },
+    Table1Row { code: "CG (B)", condor_mb: 428.17, c3_mb: 427.44, reduction_pct: 0.17 },
+    Table1Row { code: "EP (A)", condor_mb: 1.74, c3_mb: 1.00, reduction_pct: 42.29 },
+    Table1Row { code: "FT (A)", condor_mb: 419.43, c3_mb: 418.69, reduction_pct: 0.17 },
+    Table1Row { code: "IS (A)", condor_mb: 96.74, c3_mb: 96.00, reduction_pct: 0.76 },
+    Table1Row { code: "LU (A)", condor_mb: 45.27, c3_mb: 44.54, reduction_pct: 1.61 },
+    Table1Row { code: "MG (B)", condor_mb: 435.24, c3_mb: 435.55, reduction_pct: -0.07 },
+    Table1Row { code: "SP (A)", condor_mb: 80.36, c3_mb: 79.63, reduction_pct: 0.91 },
+];
+
+/// One Table 2/3 row: runtimes without checkpoints.
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub code: &'static str,
+    /// Process count in the paper's row.
+    pub procs: u32,
+    /// Original runtime, seconds.
+    pub original_s: f64,
+    /// C³ runtime, seconds.
+    pub c3_s: f64,
+    /// Relative overhead, percent.
+    pub overhead_pct: f64,
+}
+
+/// Table 2 (Lemieux, no checkpoints). The paper's 64-processor rows.
+pub const TABLE2_LEMIEUX_64: &[OverheadRow] = &[
+    OverheadRow { code: "CG (D)", procs: 64, original_s: 1651.0, c3_s: 1679.0, overhead_pct: 1.7 },
+    OverheadRow { code: "LU (D)", procs: 64, original_s: 1500.0, c3_s: 1571.0, overhead_pct: 4.7 },
+    OverheadRow { code: "SP (D)", procs: 64, original_s: 3011.0, c3_s: 3130.0, overhead_pct: 4.0 },
+    OverheadRow { code: "SMG2000", procs: 64, original_s: 136.0, c3_s: 143.0, overhead_pct: 5.3 },
+    OverheadRow { code: "HPL", procs: 64, original_s: 280.0, c3_s: 286.0, overhead_pct: 2.2 },
+];
+
+/// Table 2, full processor sweep of the relative overheads only (the
+/// scalability claim: no growth from 64 to 1024 processors).
+pub const TABLE2_OVERHEAD_SWEEP: &[(&str, [f64; 3])] = &[
+    // (code, [64, 256, 1024] procs overhead %)
+    ("CG (D)", [1.7, 4.2, 3.0]),
+    ("LU (D)", [4.7, 4.3, 6.3]),
+    ("SP (D)", [4.0, 2.9, 3.3]),
+    ("SMG2000", [5.3, 7.6, 8.7]),
+    ("HPL", [2.2, f64::NAN, 9.6]),
+];
+
+/// Table 3 (Velocity 2 / CMI, no checkpoints), smallest-procs rows.
+pub const TABLE3_VELOCITY2: &[OverheadRow] = &[
+    OverheadRow { code: "CG (D)", procs: 64, original_s: 4085.0, c3_s: 4295.0, overhead_pct: 5.1 },
+    OverheadRow { code: "LU (D)", procs: 64, original_s: 3232.0, c3_s: 3284.0, overhead_pct: 1.6 },
+    OverheadRow { code: "SP (D)", procs: 64, original_s: 4223.0, c3_s: 4307.0, overhead_pct: 2.0 },
+    OverheadRow { code: "SMG2000", procs: 32, original_s: 231.0, c3_s: 340.0, overhead_pct: 47.6 },
+    OverheadRow { code: "HPL", procs: 32, original_s: 3121.0, c3_s: 3133.0, overhead_pct: 0.38 },
+];
+
+/// One Table 4/5 row: runtimes with one checkpoint under the three
+/// configurations, plus checkpoint size and cost.
+pub struct CkptRow {
+    /// Benchmark name.
+    pub code: &'static str,
+    /// Config #1 runtime (C³, no checkpoints), seconds.
+    pub cfg1_s: f64,
+    /// Config #2 runtime (one checkpoint, no disk), seconds.
+    pub cfg2_s: f64,
+    /// Config #3 runtime (one checkpoint, to local disk), seconds.
+    pub cfg3_s: f64,
+    /// Checkpoint size per process, MB.
+    pub size_mb: f64,
+    /// Checkpoint cost (cfg3 - cfg1), seconds.
+    pub cost_s: f64,
+}
+
+/// Table 4 (Lemieux, with checkpoints), 64-processor rows.
+pub const TABLE4_LEMIEUX_64: &[CkptRow] = &[
+    CkptRow { code: "CG (D)", cfg1_s: 1679.0, cfg2_s: 1703.0, cfg3_s: 1705.0, size_mb: 652.02, cost_s: 26.0 },
+    CkptRow { code: "LU (D)", cfg1_s: 1571.0, cfg2_s: 1543.0, cfg3_s: 1554.0, size_mb: 190.66, cost_s: -17.0 },
+    CkptRow { code: "SP (D)", cfg1_s: 3130.0, cfg2_s: 3038.0, cfg3_s: 3264.0, size_mb: 422.85, cost_s: 134.0 },
+    CkptRow { code: "SMG2000", cfg1_s: 143.0, cfg2_s: 143.0, cfg3_s: 145.0, size_mb: 2.88, cost_s: 2.0 },
+    CkptRow { code: "HPL", cfg1_s: 286.0, cfg2_s: 285.0, cfg3_s: 285.0, size_mb: 0.02, cost_s: 0.0 },
+];
+
+/// Table 5 (Velocity 2 / CMI, with checkpoints), smallest-procs rows.
+pub const TABLE5_VELOCITY2: &[CkptRow] = &[
+    CkptRow { code: "CG (D)", cfg1_s: 4295.0, cfg2_s: 4296.0, cfg3_s: 4304.0, size_mb: 455.60, cost_s: 9.0 },
+    CkptRow { code: "LU (D)", cfg1_s: 3284.0, cfg2_s: 3271.0, cfg3_s: 3315.0, size_mb: 190.57, cost_s: 31.0 },
+    CkptRow { code: "SP (D)", cfg1_s: 4307.0, cfg2_s: f64::NAN, cfg3_s: 4423.0, size_mb: 422.76, cost_s: 116.0 },
+    CkptRow { code: "SMG2000", cfg1_s: 340.0, cfg2_s: 333.0, cfg3_s: 338.0, size_mb: 506.41, cost_s: -2.0 },
+    CkptRow { code: "HPL", cfg1_s: 3133.0, cfg2_s: 3136.0, cfg3_s: 3140.0, size_mb: 0.34, cost_s: 7.0 },
+];
+
+/// One Table 6/7 row: restart cost, uniprocessor.
+pub struct RestartRow {
+    /// Benchmark name.
+    pub code: &'static str,
+    /// Original (unmodified) runtime, seconds.
+    pub original_s: f64,
+    /// Absolute restart cost, seconds.
+    pub cost_s: f64,
+    /// Relative restart cost, percent of original runtime.
+    pub cost_pct: f64,
+}
+
+/// Table 6 (Lemieux, restart costs, class A uniprocessor).
+pub const TABLE6_LEMIEUX: &[RestartRow] = &[
+    RestartRow { code: "CG (A)", original_s: 13.0, cost_s: 0.0, cost_pct: 1.8 },
+    RestartRow { code: "LU (A)", original_s: 244.0, cost_s: -5.0, cost_pct: -1.9 },
+    RestartRow { code: "SP (A)", original_s: 405.0, cost_s: 2.0, cost_pct: 0.4 },
+    RestartRow { code: "SMG2000", original_s: 83.0, cost_s: 5.0, cost_pct: 5.3 },
+    RestartRow { code: "HPL", original_s: 231.0, cost_s: 0.0, cost_pct: 0.1 },
+];
+
+/// Table 7 (CMI, restart costs, class A uniprocessor).
+pub const TABLE7_CMI: &[RestartRow] = &[
+    RestartRow { code: "CG (A)", original_s: 34.0, cost_s: 0.0, cost_pct: 0.5 },
+    RestartRow { code: "LU (A)", original_s: 900.0, cost_s: 10.0, cost_pct: 1.1 },
+    RestartRow { code: "SP (A)", original_s: 1283.0, cost_s: -5.0, cost_pct: -0.4 },
+    RestartRow { code: "SMG2000", original_s: 172.0, cost_s: -1.0, cost_pct: -0.8 },
+    RestartRow { code: "HPL", original_s: 831.0, cost_s: 0.0, cost_pct: 0.1 },
+];
+
+/// §6.4's scaling claim, derived from Tables 4/5: "the maximum overhead when
+/// checkpointing once an hour is less than 4% and ... once a day is less
+/// than .2%".
+pub const SCALING_HOURLY_MAX_PCT: f64 = 4.0;
+pub const SCALING_DAILY_MAX_PCT: f64 = 0.2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reductions_are_consistent() {
+        for r in TABLE1_LINUX {
+            let derived = (r.condor_mb - r.c3_mb) / r.condor_mb * 100.0;
+            assert!(
+                (derived - r.reduction_pct).abs() < 0.5,
+                "{}: derived {derived:.2}% vs printed {:.2}%",
+                r.code,
+                r.reduction_pct
+            );
+        }
+    }
+
+    #[test]
+    fn paper_overheads_are_consistent() {
+        for r in TABLE2_LEMIEUX_64.iter().chain(TABLE3_VELOCITY2) {
+            let derived = (r.c3_s - r.original_s) / r.original_s * 100.0;
+            assert!(
+                (derived - r.overhead_pct).abs() < 0.5,
+                "{}: derived {derived:.2}% vs printed {:.2}%",
+                r.code,
+                r.overhead_pct
+            );
+        }
+    }
+
+    #[test]
+    fn paper_ckpt_costs_are_cfg3_minus_cfg1() {
+        for r in TABLE4_LEMIEUX_64 {
+            // The paper rounds these independently (HPL: 285 - 286 vs "0").
+            assert!(
+                (r.cfg3_s - r.cfg1_s - r.cost_s).abs() < 1.5,
+                "{}: {} - {} != {}",
+                r.code,
+                r.cfg3_s,
+                r.cfg1_s,
+                r.cost_s
+            );
+        }
+    }
+}

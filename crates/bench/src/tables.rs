@@ -1,0 +1,261 @@
+//! Generators for the paper's runtime tables (2-7) and the §6.4 scaling
+//! projection. Each returns a rendered [`Table`]; the `table*` binaries are
+//! thin wrappers.
+
+use crate::paper;
+use crate::report::{pct, secs, Align, Table};
+use crate::runner::{best_of, checkpoint_sizes, run_c3, run_original, tmp_store, Bench};
+use crate::runner::assert_same_results;
+use c3::C3Config;
+use mpisim::{ClusterModel, JobSpec};
+
+/// Wall-time repetitions per cell (minimum is reported).
+const REPS: usize = 3;
+
+/// The checkpoint pragma that lands mid-run for each overhead-set workload.
+pub fn mid_pragma(bench: &Bench) -> u64 {
+    match bench {
+        Bench::Cg(c) => (c.iters / 2).max(1),
+        Bench::Lu(c) => (c.isteps / 2).max(1),
+        Bench::Sp(c) => (c.steps / 2).max(1),
+        Bench::Bt(c) => (c.steps / 2).max(1),
+        Bench::Mg(c) => (c.cycles / 2).max(1),
+        Bench::Ft(c) => (c.steps / 2).max(1),
+        Bench::Is(c) => (c.iters / 2).max(1),
+        Bench::Ep(c) => (c.blocks / 2).max(1),
+        // SMG has ~1 + ladder-depth pragmas per PCG iteration plus three in
+        // main; aim at the middle iteration.
+        Bench::Smg(c) => {
+            let levels = (c.log2_n as u64).saturating_sub(4).max(2);
+            3 + (c.iters / 2) * (1 + levels)
+        }
+        Bench::Hpl(c) => (c.n as u64 / 2).max(1),
+    }
+}
+
+/// Tables 2 and 3: runtime overhead *without* checkpoints across rank
+/// counts, on one platform model.
+pub fn overhead_table(
+    title: &str,
+    cluster_of: impl Fn(&Bench) -> ClusterModel,
+    procs: &[usize],
+    paper_rows: &[paper::OverheadRow],
+) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            ("Code", Align::Left),
+            ("Procs", Align::Right),
+            ("Original (s)", Align::Right),
+            ("C3 (s)", Align::Right),
+            ("Overhead", Align::Right),
+            ("paper overhead", Align::Right),
+        ],
+    );
+    for bench in Bench::overhead_set(procs[0]) {
+        let paper_oh = paper_rows
+            .iter()
+            .find(|r| r.code.starts_with(bench.name()) || r.code == bench.name())
+            .map(|r| format!("{:+.1}%", r.overhead_pct))
+            .unwrap_or_else(|| "-".into());
+        for (i, &p) in procs.iter().enumerate() {
+            let spec = JobSpec::new(p).cluster(cluster_of(&bench));
+            let orig = best_of(REPS, || run_original(&spec, bench));
+            let cfg = C3Config::passive(tmp_store(&format!("oh-{}-{p}", bench.name())));
+            let c3r = best_of(REPS, || run_c3(&spec, &cfg, bench));
+            assert_same_results(bench.name(), &orig.results, &c3r.results);
+            let rel = (c3r.wall.as_secs_f64() - orig.wall.as_secs_f64())
+                / orig.wall.as_secs_f64();
+            t.row(vec![
+                if i == 0 { bench.name().to_string() } else { String::new() },
+                p.to_string(),
+                secs(orig.wall),
+                secs(c3r.wall),
+                pct(rel),
+                if i == 0 { paper_oh.clone() } else { String::new() },
+            ]);
+        }
+        t.separator();
+    }
+    t
+}
+
+/// Tables 4 and 5: overhead *with* one mid-run checkpoint under the three
+/// configurations of §6.4, plus per-process checkpoint size and cost.
+pub fn with_ckpt_table(
+    title: &str,
+    cluster_of: impl Fn(&Bench) -> ClusterModel,
+    procs: usize,
+    paper_rows: &[paper::CkptRow],
+) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            ("Code", Align::Left),
+            ("#1 (s)", Align::Right),
+            ("#2 (s)", Align::Right),
+            ("#3 (s)", Align::Right),
+            ("Size/proc (MB)", Align::Right),
+            ("Cost (s)", Align::Right),
+            ("CI msgs", Align::Right),
+            ("paper size", Align::Right),
+            ("paper cost", Align::Right),
+        ],
+    );
+    for bench in Bench::overhead_set(procs) {
+        let spec = JobSpec::new(procs).cluster(cluster_of(&bench));
+        let pragma = mid_pragma(&bench);
+
+        // Configuration #1: protocol active, no checkpoints.
+        let cfg1 = C3Config::passive(tmp_store(&format!("c1-{}", bench.name())));
+        let r1 = best_of(REPS, || run_c3(&spec, &cfg1, bench));
+
+        // Configuration #2: one checkpoint, nothing written to disk.
+        let cfg2 =
+            C3Config::at_pragmas(tmp_store(&format!("c2-{}", bench.name())), vec![pragma])
+                .no_disk();
+        let r2 = best_of(REPS, || run_c3(&spec, &cfg2, bench));
+        assert!(r2.stats.ckpts_committed >= 1, "{}: cfg#2 never committed", bench.name());
+
+        // Configuration #3: one checkpoint to local disk.
+        let root3 = tmp_store(&format!("c3-{}", bench.name()));
+        let cfg3 = C3Config::at_pragmas(&root3, vec![pragma]);
+        let r3 = best_of(REPS, || run_c3(&spec, &cfg3, bench));
+        assert!(r3.stats.ckpts_committed >= 1, "{}: cfg#3 never committed", bench.name());
+        assert_same_results(bench.name(), &r1.results, &r3.results);
+
+        let sizes = checkpoint_sizes(&root3, procs);
+        let per_proc = sizes.iter().sum::<u64>() as f64 / procs as f64 / 1e6;
+        let cost = r3.wall.as_secs_f64() - r1.wall.as_secs_f64();
+        // CI control messages per checkpoint round: the §4.5 scalability
+        // measure (grows linearly in P, no initiator bottleneck).
+        let ci = r3.stats.ci_sent;
+
+        let p = paper_rows.iter().find(|r| r.code.starts_with(bench.name()));
+        t.row(vec![
+            bench.name().to_string(),
+            secs(r1.wall),
+            secs(r2.wall),
+            secs(r3.wall),
+            format!("{per_proc:.2}"),
+            format!("{cost:+.3}"),
+            ci.to_string(),
+            p.map(|r| format!("{:.2}", r.size_mb)).unwrap_or_else(|| "-".into()),
+            p.map(|r| format!("{:+.0}", r.cost_s)).unwrap_or_else(|| "-".into()),
+        ]);
+        let _ = std::fs::remove_dir_all(&root3);
+    }
+    t
+}
+
+/// Tables 6 and 7: restart cost, uniprocessor, using the paper's two-run
+/// method (§6.5): run 1 measures the elapsed time from the last checkpoint
+/// commit to the end; run 2 restarts from that checkpoint and measures
+/// restart-to-end; the difference is the restart cost.
+pub fn restart_table(
+    title: &str,
+    cluster: ClusterModel,
+    paper_rows: &[paper::RestartRow],
+) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            ("Code", Align::Left),
+            ("Original (s)", Align::Right),
+            ("After-ckpt (s)", Align::Right),
+            ("Restarted (s)", Align::Right),
+            ("Cost (s)", Align::Right),
+            ("Relative", Align::Right),
+            ("paper rel.", Align::Right),
+        ],
+    );
+    for bench in Bench::restart_set() {
+        let spec = JobSpec::new(1).cluster(cluster);
+        let orig = best_of(REPS, || run_original(&spec, bench));
+
+        // Run 1: checkpoint mid-run, note the wall time of the commit.
+        let root = tmp_store(&format!("rs-{}", bench.name()));
+        let cfg = C3Config::at_pragmas(&root, vec![mid_pragma(&bench)]);
+        let r1 = run_c3(&spec, &cfg, bench);
+        assert!(r1.stats.ckpts_committed >= 1, "{}: no commit", bench.name());
+        let after_ckpt =
+            r1.wall.as_secs_f64() - r1.stats.last_commit_wall_ns as f64 / 1e9;
+
+        // Run 2: restart from the stored checkpoint, run to the end.
+        let t0 = std::time::Instant::now();
+        let h = c3::run_job_restored(&spec, &cfg, move |ctx| {
+            bench.run(ctx).map_err(c3::C3Error::Mpi)
+        })
+        .unwrap_or_else(|e| panic!("{} restart failed: {e}", bench.name()));
+        let restarted = t0.elapsed().as_secs_f64();
+        assert_same_results(bench.name(), &r1.results, &h.results);
+
+        let cost = restarted - after_ckpt;
+        let rel = cost / orig.wall.as_secs_f64();
+        let p = paper_rows.iter().find(|r| r.code.starts_with(bench.name()));
+        t.row(vec![
+            bench.name().to_string(),
+            secs(orig.wall),
+            format!("{after_ckpt:.3}"),
+            format!("{restarted:.3}"),
+            format!("{cost:+.3}"),
+            pct(rel),
+            p.map(|r| format!("{:+.1}%", r.cost_pct)).unwrap_or_else(|| "-".into()),
+        ]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    t
+}
+
+/// §6.4's projection: with the measured per-checkpoint cost, what is the
+/// overhead of checkpointing hourly / daily?
+pub fn scaling_table(procs: usize) -> Table {
+    let mut t = Table::new(
+        "§6.4 scaling projection — overhead of periodic checkpointing (Lemieux model)",
+        &[
+            ("Code", Align::Left),
+            ("Ckpt cost (s)", Align::Right),
+            ("Hourly", Align::Right),
+            ("Daily", Align::Right),
+        ],
+    );
+    let mut max_hourly: f64 = 0.0;
+    let mut max_daily: f64 = 0.0;
+    for bench in Bench::overhead_set(procs) {
+        let spec = JobSpec::new(procs).cluster(ClusterModel::lemieux());
+        let cfg1 = C3Config::passive(tmp_store(&format!("sc1-{}", bench.name())));
+        let r1 = best_of(REPS, || run_c3(&spec, &cfg1, bench));
+        let root = tmp_store(&format!("sc3-{}", bench.name()));
+        let cfg3 = C3Config::at_pragmas(&root, vec![mid_pragma(&bench)]);
+        let r3 = best_of(REPS, || run_c3(&spec, &cfg3, bench));
+        let cost = (r3.wall.as_secs_f64() - r1.wall.as_secs_f64()).max(0.0);
+        let hourly = cost / 3600.0;
+        let daily = cost / 86_400.0;
+        max_hourly = max_hourly.max(hourly);
+        max_daily = max_daily.max(daily);
+        t.row(vec![
+            bench.name().to_string(),
+            format!("{cost:.3}"),
+            format!("{:+.4}%", hourly * 100.0),
+            format!("{:+.4}%", daily * 100.0),
+        ]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    t.separator();
+    t.row(vec![
+        format!(
+            "max (paper: <{}% hourly, <{}% daily)",
+            crate::paper::SCALING_HOURLY_MAX_PCT,
+            crate::paper::SCALING_DAILY_MAX_PCT
+        ),
+        String::new(),
+        format!("{:+.4}%", max_hourly * 100.0),
+        format!("{:+.4}%", max_daily * 100.0),
+    ]);
+    assert!(
+        max_hourly * 100.0 < crate::paper::SCALING_HOURLY_MAX_PCT
+            && max_daily * 100.0 < crate::paper::SCALING_DAILY_MAX_PCT,
+        "the paper's §6.4 scaling claim does not hold at this scale"
+    );
+    t
+}

@@ -1,0 +1,324 @@
+//! The application-facing context and configuration.
+//!
+//! [`C3Ctx`] is what an instrumented application sees instead of "MPI": the
+//! same communication operations, plus the checkpoint pragma. The paper's
+//! precompiler emits code against exactly this kind of interface; here the
+//! application calls it directly (see DESIGN.md on the substitution).
+
+use crate::control::CiTracker;
+use crate::counters::Counters;
+use crate::mode::Mode;
+use crate::registries::{EarlyRegistry, ReplayLog, WasEarlyRegistry};
+use crate::requests::C3ReqTable;
+use crate::tables::HandleTables;
+use mpisim::{MpiError, RankCtx};
+use statesave::{CkptHeap, CkptStore, VariableRegistry};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced to instrumented applications.
+#[derive(Debug)]
+pub enum C3Error {
+    /// Substrate communication error (including job abort on failure).
+    Mpi(MpiError),
+    /// Checkpoint I/O failed.
+    Io(std::io::Error),
+    /// Checkpoint (de)serialization failed.
+    Codec(statesave::codec::CodecError),
+    /// Protocol invariant violation — a bug, surfaced loudly.
+    Protocol(String),
+}
+
+impl std::fmt::Display for C3Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            C3Error::Mpi(e) => write!(f, "{e}"),
+            C3Error::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            C3Error::Codec(e) => write!(f, "checkpoint codec: {e}"),
+            C3Error::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for C3Error {}
+
+impl From<MpiError> for C3Error {
+    fn from(e: MpiError) -> Self {
+        C3Error::Mpi(e)
+    }
+}
+
+impl From<std::io::Error> for C3Error {
+    fn from(e: std::io::Error) -> Self {
+        C3Error::Io(e)
+    }
+}
+
+impl From<statesave::codec::CodecError> for C3Error {
+    fn from(e: statesave::codec::CodecError) -> Self {
+        C3Error::Codec(e)
+    }
+}
+
+impl C3Error {
+    /// Collapse into a substrate error for `mpisim::launch` closures.
+    pub fn into_mpi(self) -> MpiError {
+        match self {
+            C3Error::Mpi(e) => e,
+            other => MpiError::Internal(other.to_string()),
+        }
+    }
+}
+
+/// When does a process *initiate* a checkpoint at a `ccc_checkpoint` pragma?
+///
+/// Regardless of policy, every process also starts a checkpoint at its next
+/// pragma once it learns (via a Checkpoint-Initiated message) that another
+/// process has started one — that is the protocol's coordination, not the
+/// policy's.
+#[derive(Clone, Debug)]
+pub enum CkptPolicy {
+    /// Never initiate (participate only when others initiate).
+    Never,
+    /// Force a checkpoint at these pragma counts (1-based).
+    AtPragmas(Vec<u64>),
+    /// Force every `n`-th pragma.
+    EveryNth(u64),
+    /// Force when this much wall time has passed since the last checkpoint
+    /// (the paper's "timer expired" trigger).
+    Timer(Duration),
+}
+
+impl CkptPolicy {
+    pub(crate) fn wants(&self, pragma_count: u64, last_ckpt: Instant) -> bool {
+        match self {
+            CkptPolicy::Never => false,
+            CkptPolicy::AtPragmas(v) => v.contains(&pragma_count),
+            CkptPolicy::EveryNth(n) => *n > 0 && pragma_count.is_multiple_of(*n),
+            CkptPolicy::Timer(d) => last_ckpt.elapsed() >= *d,
+        }
+    }
+}
+
+/// Configuration of the co-ordination layer for one job.
+#[derive(Clone, Debug)]
+pub struct C3Config {
+    /// Root directory of the checkpoint store.
+    pub store_root: PathBuf,
+    /// Write checkpoint data to disk (the paper's configuration #3) or only
+    /// run the protocol and discard the bytes (configuration #2).
+    pub write_disk: bool,
+    /// Checkpoint initiation policy.
+    pub policy: CkptPolicy,
+    /// If set, only this rank applies `policy` (a single initiating process;
+    /// any process *may* initiate in the protocol, this just makes
+    /// experiments deterministic). `None`: every rank applies the policy.
+    pub initiator: Option<usize>,
+}
+
+impl C3Config {
+    /// A config that never checkpoints (continuous-overhead measurements).
+    pub fn passive(store_root: impl Into<PathBuf>) -> Self {
+        C3Config {
+            store_root: store_root.into(),
+            write_disk: true,
+            policy: CkptPolicy::Never,
+            initiator: None,
+        }
+    }
+
+    /// Rank 0 initiates at the given pragma counts; data goes to disk.
+    pub fn at_pragmas(store_root: impl Into<PathBuf>, pragmas: Vec<u64>) -> Self {
+        C3Config {
+            store_root: store_root.into(),
+            write_disk: true,
+            policy: CkptPolicy::AtPragmas(pragmas),
+            initiator: Some(0),
+        }
+    }
+
+    /// Disable disk writes (configuration #2).
+    pub fn no_disk(mut self) -> Self {
+        self.write_disk = false;
+        self
+    }
+}
+
+/// Aggregate protocol statistics, reported by the benchmark harness.
+#[derive(Clone, Debug, Default)]
+pub struct C3Stats {
+    /// Application messages sent (piggybacked).
+    pub msgs_sent: u64,
+    /// Late messages logged (count).
+    pub late_logged: u64,
+    /// Late message bytes logged.
+    pub late_bytes: u64,
+    /// Intra-epoch wild-card signatures logged during NonDet-Log.
+    pub wildcard_sigs_logged: u64,
+    /// Early messages recorded.
+    pub early_recorded: u64,
+    /// Sends suppressed during recovery.
+    pub suppressed_sends: u64,
+    /// Checkpoint-Initiated control messages sent.
+    pub ci_sent: u64,
+    /// Checkpoints started.
+    pub ckpts_started: u64,
+    /// Checkpoints committed.
+    pub ckpts_committed: u64,
+    /// Bytes written for checkpoints (app+mpi+tables+early at the line,
+    /// late log at commit).
+    pub ckpt_bytes_written: u64,
+    /// Receives served from the replay log during recovery.
+    pub replayed_recvs: u64,
+    /// Wall-clock nanoseconds from context creation to the most recent
+    /// checkpoint commit (the paper's §6.5 restart-cost measurement needs
+    /// "elapsed time from when the last checkpoint is finished to the end").
+    pub last_commit_wall_ns: u64,
+}
+
+/// Shared, one-shot fault-injection trigger (see [`crate::failure`]).
+#[derive(Debug)]
+pub struct FailureTrigger {
+    /// The rank that fails.
+    pub rank: usize,
+    /// Fail when the rank's pragma counter reaches this value...
+    pub at_pragma: u64,
+    /// ...but only after this many commits have completed on that rank.
+    pub min_commits: u64,
+    /// Set once the failure has fired (it fires at most once per job
+    /// lifetime, across restarts).
+    pub fired: AtomicBool,
+}
+
+/// The per-rank co-ordination layer: the paper's protocol state plus the
+/// state-saving substrate, wrapped around a substrate rank handle.
+pub struct C3Ctx<'a> {
+    /// The underlying "MPI library".
+    pub(crate) mpi: &'a mut RankCtx,
+    /// Job configuration.
+    pub(crate) cfg: C3Config,
+    /// Current epoch (starts at 0; checkpoint `v` begins epoch `v`).
+    pub(crate) epoch: u64,
+    /// Current protocol mode.
+    pub(crate) mode: Mode,
+    /// Message counters and commit condition.
+    pub(crate) counters: Counters,
+    /// Checkpoint-Initiated messages filed by round.
+    pub(crate) ci: CiTracker,
+    /// Late-Message-Registry (logging) / replay source (recovery).
+    pub(crate) replay: ReplayLog,
+    /// Early-Message-Registry.
+    pub(crate) early: EarlyRegistry,
+    /// Was-Early-Registry (recovery only).
+    pub(crate) was_early: WasEarlyRegistry,
+    /// Request indirection table.
+    pub(crate) reqs: C3ReqTable,
+    /// Datatype/op handle tables.
+    pub(crate) tables: HandleTables,
+    /// Communicator indirection table (§4.4 extension).
+    pub(crate) comms: crate::comms::CommTable,
+    /// Checkpoint store.
+    pub(crate) store: CkptStore,
+    /// Checkpointable heap (saved automatically with every checkpoint).
+    pub heap: CkptHeap,
+    /// Variable-description registry (saved automatically).
+    pub vars: VariableRegistry,
+    /// Pragma counter (1-based after the first call).
+    pub(crate) pragma_count: u64,
+    /// Committed checkpoints this run.
+    pub(crate) commit_count: u64,
+    /// App state restored from a checkpoint, consumed by the app at startup.
+    pub(crate) restored_app_state: Option<Vec<u8>>,
+    /// Request-id watermark at the current recovery line.
+    pub(crate) line_next_req: u64,
+    /// Collective call counter on the world communicator (protocol-level).
+    pub(crate) coll_calls: u64,
+    /// Wall-clock of the last checkpoint (for the timer policy).
+    pub(crate) last_ckpt: Instant,
+    /// Wall-clock of context creation (restart-cost accounting).
+    pub(crate) start_time: Instant,
+    /// Attached buffer size (MPI_Buffer_attach state, saved/restored).
+    pub(crate) attached_buffer: Option<usize>,
+    /// Statistics.
+    pub(crate) stats: C3Stats,
+    /// Optional fault injection.
+    pub(crate) failure: Option<Arc<FailureTrigger>>,
+}
+
+impl<'a> C3Ctx<'a> {
+    /// This rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.mpi.rank()
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.mpi.nranks()
+    }
+
+    /// Current epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current protocol mode.
+    #[inline]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Checkpoints committed so far in this run.
+    #[inline]
+    pub fn commits(&self) -> u64 {
+        self.commit_count
+    }
+
+    /// Protocol statistics so far.
+    pub fn stats(&self) -> &C3Stats {
+        &self.stats
+    }
+
+    /// Direct access to the substrate (virtual time, compute accounting).
+    pub fn mpi(&mut self) -> &mut RankCtx {
+        self.mpi
+    }
+
+    /// Advance the virtual compute clock (forwarded to the substrate).
+    pub fn compute(&mut self, ns: u64) {
+        self.mpi.compute(ns);
+    }
+
+    /// The state restored from the last committed checkpoint, if this run is
+    /// a recovery. The application consumes this once at startup:
+    ///
+    /// ```ignore
+    /// let mut st = match ctx.take_restored_state() {
+    ///     Some(bytes) => AppState::load(&mut Decoder::new(&bytes))?,
+    ///     None => AppState::fresh(),
+    /// };
+    /// ```
+    pub fn take_restored_state(&mut self) -> Option<Vec<u8>> {
+        self.restored_app_state.take()
+    }
+
+    /// Attach a send buffer (MPI_Buffer_attach): recorded as basic MPI state
+    /// and restored with the checkpoint (Fig. 5 "Attached buffers").
+    pub fn buffer_attach(&mut self, bytes: usize) {
+        self.attached_buffer = Some(bytes);
+    }
+
+    /// Detach the send buffer, returning its size.
+    pub fn buffer_detach(&mut self) -> Option<usize> {
+        self.attached_buffer.take()
+    }
+
+    /// The currently attached buffer size.
+    pub fn attached_buffer(&self) -> Option<usize> {
+        self.attached_buffer
+    }
+}

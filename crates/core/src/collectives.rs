@@ -1,0 +1,233 @@
+//! Protocol-wrapped collective communication (§4.3).
+//!
+//! "The approach we take is... to apply the base protocol to the start and
+//! end points of each individual communication stream within a collective
+//! operation." Every collective below is decomposed into its *logical
+//! streams* and each stream goes through `stream_send` / `stream_recv_coll`,
+//! which apply the full protocol: piggyback classification, counters,
+//! late-data logging, early recording, and — during recovery — replay from
+//! the log and suppression of early re-sends. Because normal operation and
+//! recovery use the same stream topology, ranks that have already finished
+//! recovery interoperate with ranks still replaying, with no switch-over
+//! protocol.
+//!
+//! Stream topologies (the logical data-flow of each operation):
+//!
+//! * `bcast`, `scatter`: root → every other rank;
+//! * `gather`, `reduce`: every other rank → root (reduce is "first send all
+//!   data to the root using an independent gather and then perform the
+//!   actual reduction" — the paper's exact treatment of `MPI_Reduce`);
+//! * `allgather`, `allreduce`, `barrier`, `alltoall`: all ↔ all;
+//! * `scan`: every rank j → every rank i > j (the prefix dependency chain).
+//!
+//! Deterministic rank-order folding makes reduction results reproducible
+//! across re-execution, which the replay correctness argument requires.
+
+use crate::api::C3Ctx;
+use crate::registries::StreamKind;
+use crate::Result;
+use mpisim::{fold_into, BasicType, ReduceOp, COMM_WORLD};
+
+impl<'a> C3Ctx<'a> {
+    /// Take the next deterministic collective-instance number on the world
+    /// communicator.
+    fn next_call(&mut self) -> u64 {
+        let c = self.coll_calls;
+        self.coll_calls += 1;
+        c
+    }
+
+    /// Broadcast `data` from `root` to every rank.
+    pub fn bcast(&mut self, root: usize, data: &mut Vec<u8>) -> Result<()> {
+        let call = self.next_call();
+        let me = self.rank();
+        let n = self.nranks();
+        if me == root {
+            let payload = std::mem::take(data);
+            for dst in 0..n {
+                if dst != root {
+                    self.stream_send(dst, COMM_WORLD.0, StreamKind::Coll { call }, &payload)?;
+                }
+            }
+            *data = payload;
+        } else {
+            *data = self.stream_recv_coll(root, COMM_WORLD.0, call)?;
+        }
+        Ok(())
+    }
+
+    /// Gather every rank's buffer at `root` (rank-ordered; sizes may vary).
+    pub fn gather(&mut self, root: usize, mine: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        let call = self.next_call();
+        let me = self.rank();
+        let n = self.nranks();
+        if me == root {
+            let mut out = Vec::with_capacity(n);
+            for src in 0..n {
+                if src == me {
+                    out.push(mine.to_vec());
+                } else {
+                    out.push(self.stream_recv_coll(src, COMM_WORLD.0, call)?);
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.stream_send(root, COMM_WORLD.0, StreamKind::Coll { call }, mine)?;
+            Ok(None)
+        }
+    }
+
+    /// Scatter per-rank buffers from `root`.
+    pub fn scatter(&mut self, root: usize, parts: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
+        let call = self.next_call();
+        let me = self.rank();
+        let n = self.nranks();
+        if me == root {
+            let parts = parts.ok_or_else(|| {
+                crate::api::C3Error::Protocol("scatter root must supply parts".into())
+            })?;
+            if parts.len() != n {
+                return Err(crate::api::C3Error::Protocol(format!(
+                    "scatter needs {n} parts, got {}",
+                    parts.len()
+                )));
+            }
+            for (dst, part) in parts.iter().enumerate() {
+                if dst != me {
+                    self.stream_send(dst, COMM_WORLD.0, StreamKind::Coll { call }, part)?;
+                }
+            }
+            Ok(parts[me].clone())
+        } else {
+            self.stream_recv_coll(root, COMM_WORLD.0, call)
+        }
+    }
+
+    /// All-gather: every rank receives every rank's buffer (rank-ordered).
+    pub fn allgather(&mut self, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let call = self.next_call();
+        let me = self.rank();
+        let n = self.nranks();
+        for dst in 0..n {
+            if dst != me {
+                self.stream_send(dst, COMM_WORLD.0, StreamKind::Coll { call }, mine)?;
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for src in 0..n {
+            if src == me {
+                out.push(mine.to_vec());
+            } else {
+                out.push(self.stream_recv_coll(src, COMM_WORLD.0, call)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Barrier: an all-gather of empty payloads; returns when every rank has
+    /// entered.
+    pub fn barrier(&mut self) -> Result<()> {
+        self.allgather(&[]).map(|_| ())
+    }
+
+    /// All-to-all personalized exchange: `parts[i]` goes to rank `i`.
+    pub fn alltoall(&mut self, parts: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        let n = self.nranks();
+        if parts.len() != n {
+            return Err(crate::api::C3Error::Protocol(format!(
+                "alltoall needs {n} parts, got {}",
+                parts.len()
+            )));
+        }
+        let call = self.next_call();
+        let me = self.rank();
+        for (dst, part) in parts.iter().enumerate() {
+            if dst != me {
+                self.stream_send(dst, COMM_WORLD.0, StreamKind::Coll { call }, part)?;
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for src in 0..n {
+            if src == me {
+                out.push(parts[me].clone());
+            } else {
+                out.push(self.stream_recv_coll(src, COMM_WORLD.0, call)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reduce to `root`: gather + root-side fold in rank order — the paper's
+    /// own construction for `MPI_Reduce` ("we first send all data to the
+    /// root node of the reduction using an independent MPI_Gather and then
+    /// perform the actual reduction"), which gives the protocol the
+    /// individual messages it needs for correct replay.
+    pub fn reduce(
+        &mut self,
+        root: usize,
+        data: &[u8],
+        ty: BasicType,
+        op: &ReduceOp,
+    ) -> Result<Option<Vec<u8>>> {
+        match self.gather(root, data)? {
+            None => Ok(None),
+            Some(parts) => {
+                let mut acc = parts[0].clone();
+                for p in &parts[1..] {
+                    fold_into(op, &mut acc, p, ty).map_err(crate::api::C3Error::Mpi)?;
+                }
+                Ok(Some(acc))
+            }
+        }
+    }
+
+    /// All-reduce: all-to-all streams, every rank folds in rank order.
+    pub fn allreduce(&mut self, data: &[u8], ty: BasicType, op: &ReduceOp) -> Result<Vec<u8>> {
+        let parts = self.allgather(data)?;
+        let mut acc = parts[0].clone();
+        for p in &parts[1..] {
+            fold_into(op, &mut acc, p, ty).map_err(crate::api::C3Error::Mpi)?;
+        }
+        Ok(acc)
+    }
+
+    /// Typed all-reduce convenience for one `f64`.
+    pub fn allreduce_f64(&mut self, x: f64, op: &ReduceOp) -> Result<f64> {
+        let out = self.allreduce(&x.to_le_bytes(), BasicType::F64, op)?;
+        Ok(f64::from_le_bytes(out[..8].try_into().unwrap()))
+    }
+
+    /// Typed all-reduce convenience for one `u64`.
+    pub fn allreduce_u64(&mut self, x: u64, op: &ReduceOp) -> Result<u64> {
+        let out = self.allreduce(&x.to_le_bytes(), BasicType::U64, op)?;
+        Ok(u64::from_le_bytes(out[..8].try_into().unwrap()))
+    }
+
+    /// Inclusive prefix scan: rank `i` folds contributions of ranks `0..=i`
+    /// in rank order. Streams follow the dependency chain (every `j < i`
+    /// sends to `i`), so "any result of MPI_Scan is either stored in the log
+    /// or is computed after the logging... along this dependency chain".
+    pub fn scan(&mut self, data: &[u8], ty: BasicType, op: &ReduceOp) -> Result<Vec<u8>> {
+        let call = self.next_call();
+        let me = self.rank();
+        let n = self.nranks();
+        for dst in me + 1..n {
+            self.stream_send(dst, COMM_WORLD.0, StreamKind::Coll { call }, data)?;
+        }
+        let mut acc: Option<Vec<u8>> = None;
+        for src in 0..me {
+            let part = self.stream_recv_coll(src, COMM_WORLD.0, call)?;
+            match &mut acc {
+                None => acc = Some(part),
+                Some(a) => fold_into(op, a, &part, ty).map_err(crate::api::C3Error::Mpi)?,
+            }
+        }
+        match acc {
+            None => Ok(data.to_vec()),
+            Some(mut a) => {
+                fold_into(op, &mut a, data, ty).map_err(crate::api::C3Error::Mpi)?;
+                Ok(a)
+            }
+        }
+    }
+}

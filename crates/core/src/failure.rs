@@ -1,0 +1,137 @@
+//! Fail-stop fault injection and the whole-job recovery driver.
+//!
+//! The paper's fault model is fail-stop (§1, footnote 1): a failing node
+//! simply stops. Recovery restarts the job from the last recovery line
+//! committed on all nodes. This module provides:
+//!
+//! * [`FailurePlan`] — a deterministic one-shot fault: kill rank `r` at its
+//!   `k`-th pragma (optionally only after `c` commits);
+//! * [`run_job`] — run an instrumented application to completion with the
+//!   protocol active (no failures);
+//! * [`run_job_with_failure`] — run, let the fault fire, then restart the
+//!   job in `Restore` mode, repeating until it completes. Returns how many
+//!   restarts were needed.
+
+use crate::api::{C3Config, C3Ctx, C3Error, FailureTrigger};
+use mpisim::{JobError, JobHandle, JobSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// When a planned failure fires.
+#[derive(Clone, Copy, Debug)]
+pub enum FailAt {
+    /// At the rank's `n`-th checkpoint pragma.
+    Pragma(u64),
+    /// At the first pragma after the rank has committed `commits`
+    /// checkpoints and reached pragma `pragma`.
+    AfterCommits {
+        /// Required committed checkpoints.
+        commits: u64,
+        /// Required pragma count.
+        pragma: u64,
+    },
+}
+
+/// A deterministic, one-shot fail-stop fault.
+#[derive(Clone, Copy, Debug)]
+pub struct FailurePlan {
+    /// The rank that fails.
+    pub rank: usize,
+    /// When it fails.
+    pub when: FailAt,
+}
+
+impl FailurePlan {
+    fn trigger(&self) -> Arc<FailureTrigger> {
+        let (at_pragma, min_commits) = match self.when {
+            FailAt::Pragma(p) => (p, 0),
+            FailAt::AfterCommits { commits, pragma } => (pragma, commits),
+        };
+        Arc::new(FailureTrigger {
+            rank: self.rank,
+            at_pragma,
+            min_commits,
+            fired: AtomicBool::new(false),
+        })
+    }
+}
+
+/// The outcome of a run that survived one or more injected failures.
+#[derive(Debug)]
+pub struct RecoveredJob<T> {
+    /// The completed job (per-rank results and statistics).
+    pub handle: JobHandle<T>,
+    /// How many times the job was restarted from a recovery line.
+    pub restarts: u32,
+}
+
+fn run_attempt<T, F>(
+    spec: &JobSpec,
+    cfg: &C3Config,
+    failure: Option<Arc<FailureTrigger>>,
+    restore: bool,
+    app: &F,
+) -> Result<JobHandle<T>, JobError>
+where
+    T: Send,
+    F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
+{
+    mpisim::launch(spec, |mpi| {
+        let mut ctx = if restore {
+            C3Ctx::restore_or_fresh(mpi, cfg.clone(), failure.clone())
+        } else {
+            C3Ctx::fresh(mpi, cfg.clone(), failure.clone())
+        }
+        .map_err(|e| e.into_mpi())?;
+        app(&mut ctx).map_err(|e| e.into_mpi())
+    })
+}
+
+/// Run an instrumented application under the protocol, no fault injection.
+pub fn run_job<T, F>(spec: &JobSpec, cfg: &C3Config, app: F) -> Result<JobHandle<T>, JobError>
+where
+    T: Send,
+    F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
+{
+    run_attempt(spec, cfg, None, false, &app)
+}
+
+/// Resume a job from its last committed recovery line without any fault
+/// injection (used by restart-cost measurements, §6.5).
+pub fn run_job_restored<T, F>(spec: &JobSpec, cfg: &C3Config, app: F) -> Result<JobHandle<T>, JobError>
+where
+    T: Send,
+    F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
+{
+    run_attempt(spec, cfg, None, true, &app)
+}
+
+/// Run with a planned fail-stop fault; on failure, restart from the last
+/// committed recovery line until the job completes.
+pub fn run_job_with_failure<T, F>(
+    spec: &JobSpec,
+    cfg: &C3Config,
+    plan: FailurePlan,
+    app: F,
+) -> Result<RecoveredJob<T>, JobError>
+where
+    T: Send,
+    F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
+{
+    let trigger = plan.trigger();
+    let mut restarts = 0u32;
+    let mut restore = false;
+    loop {
+        match run_attempt(spec, cfg, Some(trigger.clone()), restore, &app) {
+            Ok(handle) => return Ok(RecoveredJob { handle, restarts }),
+            Err(JobError::Aborted { reason }) => {
+                if !trigger.fired.load(Ordering::SeqCst) || restarts >= 8 {
+                    return Err(JobError::Aborted { reason });
+                }
+                restarts += 1;
+                restore = true;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}

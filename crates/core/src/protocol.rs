@@ -1,0 +1,1003 @@
+//! The protocol actions (Figures 4 and 5): wrapped sends/receives,
+//! non-blocking requests, the checkpoint pragma, and the
+//! start / commit / restore checkpoint functions.
+
+use crate::api::{C3Config, C3Ctx, C3Error, FailureTrigger};
+use crate::ckpt;
+use crate::control::{CiMsg, CiTracker, TAG_CI};
+use crate::counters::Counters;
+use crate::mode::Mode;
+use crate::piggyback::{self, MsgClass, PigData};
+use crate::registries::{EarlyRegistry, ReplayLog, StreamKind, StreamSig, WasEarlyRegistry};
+use crate::requests::{C3Req, C3ReqKind, C3ReqTable, NondetEvent};
+use crate::tables::HandleTables;
+use crate::Result;
+use mpisim::{
+    bytes_of, vec_from_bytes, CommId, DatatypeHandle, MpiError, Pod, RankCtx, Status, ANY_SOURCE,
+    ANY_TAG, COMM_CTRL, COMM_WORLD,
+};
+use statesave::codec::Encoder;
+use statesave::{CkptHeap, CkptStore, VariableRegistry};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Transport mapping of a logical stream: p2p streams use the application
+/// communicator and tag; collective streams travel on the communicator's
+/// shadow with a tag derived from the deterministic call number.
+pub(crate) fn transport(comm: u32, kind: StreamKind) -> (CommId, i32) {
+    match kind {
+        StreamKind::P2p { tag } => (CommId(comm), tag),
+        StreamKind::Coll { call } => (CommId(comm).collective_shadow(), (call % (1 << 30)) as i32),
+    }
+}
+
+impl<'a> C3Ctx<'a> {
+    /// Build a fresh (epoch-0) co-ordination layer around a rank.
+    pub fn fresh(
+        mpi: &'a mut RankCtx,
+        cfg: C3Config,
+        failure: Option<Arc<FailureTrigger>>,
+    ) -> Result<Self> {
+        let n = mpi.nranks();
+        let store = CkptStore::new(&cfg.store_root)?;
+        Ok(C3Ctx {
+            mpi,
+            cfg,
+            epoch: 0,
+            mode: Mode::Run,
+            counters: Counters::new(n),
+            ci: CiTracker::new(),
+            replay: ReplayLog::new(),
+            early: EarlyRegistry::new(),
+            was_early: WasEarlyRegistry::new(),
+            reqs: C3ReqTable::new(),
+            tables: HandleTables::new(),
+            comms: crate::comms::CommTable::new(n),
+            store,
+            heap: CkptHeap::new(),
+            vars: VariableRegistry::new(),
+            pragma_count: 0,
+            commit_count: 0,
+            restored_app_state: None,
+            line_next_req: 0,
+            coll_calls: 0,
+            last_ckpt: Instant::now(),
+            start_time: Instant::now(),
+            attached_buffer: None,
+            stats: Default::default(),
+            failure,
+        })
+    }
+
+    /// Build the layer in recovery: find the last globally committed
+    /// recovery line (a reduction, as in `chkpt_RestoreCheckpoint`), load
+    /// its sections, exchange early registries, and enter `Restore` mode.
+    /// Falls back to a fresh start if no line was ever committed.
+    pub fn restore_or_fresh(
+        mpi: &'a mut RankCtx,
+        cfg: C3Config,
+        failure: Option<Arc<FailureTrigger>>,
+    ) -> Result<Self> {
+        let mut ctx = Self::fresh(mpi, cfg, failure)?;
+        let local = ctx.store.last_committed(ctx.mpi.rank()).unwrap_or(0);
+        let (reduced, _) = ctx.mpi.allreduce(
+            COMM_CTRL,
+            bytes_of(&[local]),
+            mpisim::BasicType::U64,
+            &mpisim::ReduceOp::Min,
+            0,
+        )?;
+        let line: u64 = vec_from_bytes::<u64>(&reduced)[0];
+        if line == 0 {
+            return Ok(ctx); // nothing committed anywhere: restart from scratch
+        }
+        // Discard newer, uncommitted lines; one rank prunes, all wait.
+        if ctx.mpi.rank() == 0 {
+            ctx.store.prune(line, false)?;
+        }
+        ctx.mpi.barrier(COMM_CTRL, 0)?;
+        ckpt::restore_line(&mut ctx, line)?;
+        ctx.exchange_early_registries()?;
+        ctx.mode = Mode::Restore;
+        ctx.check_restore_done();
+        Ok(ctx)
+    }
+
+    /// Distribute the restored Early-Message-Registry entries to their
+    /// original senders; build the local Was-Early-Registry from what the
+    /// peers send back (Fig. 5, `chkpt_RestoreCheckpoint`).
+    fn exchange_early_registries(&mut self) -> Result<()> {
+        let n = self.nranks();
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(n);
+        for q in 0..n {
+            let sigs = self.early.entries_from(q);
+            let mut e = Encoder::new();
+            e.save(&sigs);
+            parts.push(e.finish());
+        }
+        let replies = self.mpi.alltoall(COMM_CTRL, &parts, 0)?;
+        for (_cp, bytes) in replies {
+            let mut d = statesave::Decoder::new(&bytes);
+            let sigs: Vec<StreamSig> = d.load()?;
+            for s in sigs {
+                debug_assert_eq!(s.src, self.mpi.rank(), "was-early entry routed to wrong sender");
+                self.was_early.add(s);
+            }
+        }
+        // The restored registry's job is done; it was re-initialized at the
+        // line ("Reset Early-Message-Registry").
+        self.early.clear();
+        Ok(())
+    }
+
+    // ==================================================================
+    // Control plane
+    // ==================================================================
+
+    /// "Check for control messages": drain Checkpoint-Initiated messages and
+    /// apply mode transitions. Called at every wrapped operation and pragma.
+    pub(crate) fn drain_control(&mut self) -> Result<()> {
+        while let Some((bytes, st)) = self.mpi.try_recv_bytes(ANY_SOURCE, TAG_CI, COMM_CTRL)? {
+            let msg = CiMsg::decode(&bytes)?;
+            if msg.new_epoch == self.epoch && self.mode.is_logging() {
+                // CI for the round we are committing: record the peer's
+                // sent-count for the late-message condition.
+                self.counters.set_expected(st.src, msg.sent_count);
+            } else if msg.new_epoch > self.epoch {
+                // CI for a round we have not started yet (triggers a
+                // checkpoint at our next pragma).
+                self.ci.record(st.src, msg);
+            }
+            // Stale CI (round already committed): ignore.
+        }
+        self.maybe_advance()
+    }
+
+    /// Apply the NonDet-Log → RecvOnly-Log → Run transitions when their
+    /// conditions hold (Fig. 3). Commit is local: all CIs present and all
+    /// promised late messages received.
+    pub(crate) fn maybe_advance(&mut self) -> Result<()> {
+        let me = self.mpi.rank();
+        if self.mode == Mode::NonDetLog && self.counters.all_ci_received(me) {
+            self.mode = Mode::RecvOnlyLog;
+        }
+        if self.mode == Mode::RecvOnlyLog && self.counters.all_late_received(me) {
+            self.commit_checkpoint()?;
+        }
+        debug_assert!(
+            self.counters.late_overrun(me).is_none(),
+            "rank {me}: received more late messages than a peer's CI promised"
+        );
+        Ok(())
+    }
+
+    /// Restore → Run when the replay log holds no more late data and every
+    /// early send has been suppressed ("Late-Message-Registry is empty and
+    /// Was-Early-Registry is empty").
+    pub(crate) fn check_restore_done(&mut self) {
+        if self.mode == Mode::Restore && !self.replay.has_data() && self.was_early.is_empty() {
+            // Leftover wild-card forcing entries and request replay metadata
+            // no longer matter: nothing that remains can affect any saved
+            // state.
+            self.replay = ReplayLog::new();
+            self.reqs.replay.clear();
+            self.reqs.nondet_events.clear();
+            self.mode = Mode::Run;
+        }
+    }
+
+    // ==================================================================
+    // Arrival classification (the receive side of Fig. 4)
+    // ==================================================================
+
+    /// Classify an arrived message by its piggybacked bits.
+    pub(crate) fn classify(&self, piggyback: u8) -> (MsgClass, bool) {
+        let (color, logging) = piggyback::decode(piggyback);
+        (piggyback::classify(self.epoch, color), logging)
+    }
+
+    /// Apply the protocol effects of receiving a message: counters, logging,
+    /// early recording, and mode transitions.
+    pub(crate) fn apply_arrival(
+        &mut self,
+        class: MsgClass,
+        sender_logging: bool,
+        sig: StreamSig,
+        wildcard: bool,
+        data: &[u8],
+    ) -> Result<()> {
+        match class {
+            MsgClass::Late => {
+                self.counters.late_received[sig.src] += 1;
+                self.stats.late_logged += 1;
+                self.stats.late_bytes += data.len() as u64;
+                self.replay.push_late(sig, data.to_vec());
+            }
+            MsgClass::IntraEpoch => {
+                self.counters.received[sig.src] += 1;
+                if self.mode == Mode::NonDetLog {
+                    if !sender_logging {
+                        // The sender knows every process has started its
+                        // checkpoint; we must stop logging nondeterminism
+                        // too (the causality argument of §3.1).
+                        self.mode = Mode::RecvOnlyLog;
+                    } else if wildcard {
+                        self.stats.wildcard_sigs_logged += 1;
+                        self.replay.push_wildcard_sig(sig);
+                    }
+                }
+            }
+            MsgClass::Early => {
+                self.counters.early_received[sig.src] += 1;
+                self.stats.early_recorded += 1;
+                self.early.push(sig);
+            }
+        }
+        self.maybe_advance()
+    }
+
+    // ==================================================================
+    // Logical stream primitives (shared by p2p and collectives)
+    // ==================================================================
+
+    /// Protocol-wrapped send of one logical stream (`chkpt_MPI_Send`).
+    pub(crate) fn stream_send(
+        &mut self,
+        dst: usize,
+        comm: u32,
+        kind: StreamKind,
+        payload: &[u8],
+    ) -> Result<()> {
+        self.drain_control()?;
+        if self.mode == Mode::Restore {
+            let sig = StreamSig { src: self.mpi.rank(), dst, comm, kind };
+            if self.was_early.try_suppress(&sig) {
+                // The receiver consumed this message before the failure, so
+                // its restored `received` baseline includes it; the sent
+                // count must match even though nothing travels.
+                self.counters.sent[dst] += 1;
+                self.stats.suppressed_sends += 1;
+                self.check_restore_done();
+                return Ok(());
+            }
+        }
+        let pig = piggyback::encode(PigData::of(self.epoch, self.mode));
+        let (mcomm, mtag) = transport(comm, kind);
+        self.mpi.send_bytes(dst, mtag, mcomm, pig, payload)?;
+        self.counters.sent[dst] += 1;
+        self.stats.msgs_sent += 1;
+        Ok(())
+    }
+
+    /// Protocol-wrapped blocking p2p receive (`chkpt_MPI_Recv`), wildcards
+    /// allowed.
+    pub(crate) fn stream_recv_p2p(
+        &mut self,
+        src: i32,
+        tag: i32,
+        comm: u32,
+    ) -> Result<(Vec<u8>, Status)> {
+        self.drain_control()?;
+        if self.mode == Mode::Restore {
+            if let Some(entry) = self.replay.take_p2p_match(src, tag, comm) {
+                match entry.data {
+                    Some(data) => {
+                        // Late message: "the data for that receive is
+                        // received from this registry".
+                        self.stats.replayed_recvs += 1;
+                        let st = synth_status(&entry.sig, data.len());
+                        self.check_restore_done();
+                        return Ok((data, st));
+                    }
+                    None => {
+                        // Intra-epoch wild-card signature: "fill in any
+                        // wild-cards to force intra-epoch messages to be
+                        // received in the order they were received prior to
+                        // failure".
+                        let ctag = match entry.sig.kind {
+                            StreamKind::P2p { tag } => tag,
+                            StreamKind::Coll { .. } => unreachable!("p2p match returned coll"),
+                        };
+                        let (bytes, st) =
+                            self.mpi.recv_bytes(entry.sig.src as i32, ctag, CommId(comm))?;
+                        self.counters.received[st.src] += 1;
+                        self.check_restore_done();
+                        return Ok((bytes, st));
+                    }
+                }
+            }
+            // No registry match: live receive (all traffic during recovery
+            // is intra-epoch).
+            let (bytes, st) = self.mpi.recv_bytes(src, tag, CommId(comm))?;
+            self.counters.received[st.src] += 1;
+            return Ok((bytes, st));
+        }
+        let wildcard = src == ANY_SOURCE || tag == ANY_TAG;
+        let (bytes, st) = self.mpi.recv_bytes(src, tag, CommId(comm))?;
+        let (class, logging) = self.classify(st.piggyback);
+        let sig = StreamSig {
+            src: st.src,
+            dst: self.mpi.rank(),
+            comm,
+            kind: StreamKind::P2p { tag: st.tag },
+        };
+        self.apply_arrival(class, logging, sig, wildcard, &bytes)?;
+        Ok((bytes, st))
+    }
+
+    /// Protocol-wrapped receive of one collective stream (concrete source,
+    /// instance `call`).
+    pub(crate) fn stream_recv_coll(&mut self, src: usize, comm: u32, call: u64) -> Result<Vec<u8>> {
+        self.drain_control()?;
+        let kind = StreamKind::Coll { call };
+        if self.mode == Mode::Restore {
+            if let Some(data) = self.replay.take_coll_match(comm, call, src) {
+                self.stats.replayed_recvs += 1;
+                self.check_restore_done();
+                return Ok(data);
+            }
+            let (mcomm, mtag) = transport(comm, kind);
+            let (bytes, _st) = self.mpi.recv_bytes(src as i32, mtag, mcomm)?;
+            self.counters.received[src] += 1;
+            return Ok(bytes);
+        }
+        let (mcomm, mtag) = transport(comm, kind);
+        let (bytes, st) = self.mpi.recv_bytes(src as i32, mtag, mcomm)?;
+        let (class, logging) = self.classify(st.piggyback);
+        let sig = StreamSig { src, dst: self.mpi.rank(), comm, kind };
+        self.apply_arrival(class, logging, sig, false, &bytes)?;
+        Ok(bytes)
+    }
+
+    // ==================================================================
+    // Public point-to-point API (world communicator)
+    // ==================================================================
+
+    /// Blocking send of raw bytes on the world communicator.
+    pub fn send_bytes(&mut self, dst: usize, tag: i32, payload: &[u8]) -> Result<()> {
+        self.stream_send(dst, COMM_WORLD.0, StreamKind::P2p { tag }, payload)
+    }
+
+    /// Blocking send of a typed slice.
+    pub fn send<T: Pod>(&mut self, dst: usize, tag: i32, data: &[T]) -> Result<()> {
+        self.send_bytes(dst, tag, bytes_of(data))
+    }
+
+    /// Blocking send of `count` elements of derived datatype `dt` gathered
+    /// from `buf` (§4.2: the datatype hierarchy is traversed to pack each
+    /// piece, for both transmission and any logging).
+    pub fn send_typed(
+        &mut self,
+        dst: usize,
+        tag: i32,
+        buf: &[u8],
+        count: usize,
+        dt: DatatypeHandle,
+    ) -> Result<()> {
+        let packed = self.mpi.types.pack(buf, count, dt).map_err(C3Error::Mpi)?;
+        self.send_bytes(dst, tag, &packed)
+    }
+
+    /// Blocking receive of raw bytes (wildcards allowed).
+    pub fn recv_bytes(&mut self, src: i32, tag: i32) -> Result<(Vec<u8>, Status)> {
+        self.stream_recv_p2p(src, tag, COMM_WORLD.0)
+    }
+
+    /// Blocking receive of a typed vector.
+    pub fn recv<T: Pod>(&mut self, src: i32, tag: i32) -> Result<(Vec<T>, Status)> {
+        let (bytes, st) = self.recv_bytes(src, tag)?;
+        Ok((vec_from_bytes(&bytes), st))
+    }
+
+    /// Create a contiguous derived datatype (§4.2). The recipe is recorded
+    /// in the handle table and recreated on recovery; the handle value is
+    /// stable across restarts.
+    pub fn type_contiguous(&mut self, count: usize, child: DatatypeHandle) -> Result<DatatypeHandle> {
+        self.tables
+            .create_datatype(self.mpi, crate::tables::DtRecipe::Contiguous { count, child: child.0 })
+            .map_err(C3Error::Mpi)
+    }
+
+    /// Create a strided-vector derived datatype (§4.2).
+    pub fn type_vector(
+        &mut self,
+        count: usize,
+        blocklen: usize,
+        stride: usize,
+        child: DatatypeHandle,
+    ) -> Result<DatatypeHandle> {
+        self.tables
+            .create_datatype(
+                self.mpi,
+                crate::tables::DtRecipe::Vector { count, blocklen, stride, child: child.0 },
+            )
+            .map_err(C3Error::Mpi)
+    }
+
+    /// Free a derived datatype. The table entry is retained until every
+    /// dependent type is freed too, so recovery can rebuild the hierarchy;
+    /// the substrate type is released immediately (§4.2: "even though the
+    /// table entry is kept around, the actual MPI datatype is being
+    /// deleted").
+    pub fn type_free(&mut self, dt: DatatypeHandle) -> Result<()> {
+        self.tables.free_datatype(self.mpi, dt).map_err(C3Error::Mpi)
+    }
+
+    /// Blocking receive scattering `count` elements of `dt` into `buf`.
+    pub fn recv_typed(
+        &mut self,
+        src: i32,
+        tag: i32,
+        buf: &mut [u8],
+        count: usize,
+        dt: DatatypeHandle,
+    ) -> Result<Status> {
+        let (bytes, st) = self.recv_bytes(src, tag)?;
+        self.mpi.types.unpack(&bytes, buf, count, dt).map_err(C3Error::Mpi)?;
+        Ok(st)
+    }
+
+    // ==================================================================
+    // Non-blocking API (§4.1)
+    // ==================================================================
+
+    /// Non-blocking send. Buffered: completes at initiation, but must be
+    /// collected with `test`/`wait`.
+    pub fn isend_bytes(&mut self, dst: usize, tag: i32, payload: &[u8]) -> Result<C3Req> {
+        self.stream_send(dst, COMM_WORLD.0, StreamKind::P2p { tag }, payload)?;
+        Ok(self.reqs.alloc(C3ReqKind::Send, dst as i32, tag, COMM_WORLD.0, self.epoch, None))
+    }
+
+    /// Non-blocking typed send.
+    pub fn isend<T: Pod>(&mut self, dst: usize, tag: i32, data: &[T]) -> Result<C3Req> {
+        self.isend_bytes(dst, tag, bytes_of(data))
+    }
+
+    /// Post a non-blocking receive (wildcards allowed). During recovery the
+    /// underlying receive is posted lazily at completion time, so that
+    /// replayed-from-log messages never leave a stale posted receive behind.
+    pub fn irecv(&mut self, src: i32, tag: i32) -> Result<C3Req> {
+        self.drain_control()?;
+        let mpi = if self.mode == Mode::Restore {
+            None
+        } else {
+            Some(self.mpi.irecv_bytes(src, tag, COMM_WORLD).map_err(C3Error::Mpi)?)
+        };
+        Ok(self.reqs.alloc(C3ReqKind::Recv, src, tag, COMM_WORLD.0, self.epoch, mpi))
+    }
+
+    /// Test a request without blocking. Unsuccessful tests are counted while
+    /// in NonDet-Log and replayed during recovery, with the originally
+    /// successful test substituted by a wait (§4.1).
+    pub fn test(&mut self, r: C3Req) -> Result<Option<(Status, Vec<u8>)>> {
+        self.drain_control()?;
+        if self.mode == Mode::Restore {
+            return self.test_restore(r);
+        }
+        let entry = self
+            .reqs
+            .get(r)
+            .ok_or_else(|| C3Error::Protocol(format!("unknown request {r:?}")))?;
+        match entry.kind {
+            C3ReqKind::Send => {
+                let st = Status { src: entry.src as usize, tag: entry.tag, bytes: 0, piggyback: 0 };
+                self.reqs.release(r, self.mode.is_logging());
+                Ok(Some((st, Vec::new())))
+            }
+            C3ReqKind::Recv => {
+                // A request restored across the line may not have its
+                // substrate receive posted yet (lazy posting): post it now.
+                self.ensure_posted(r)?;
+                let mreq = self.reqs.get(r).and_then(|e| e.mpi).expect("posted above");
+                match self.mpi.test(mreq).map_err(C3Error::Mpi)? {
+                    None => {
+                        if self.mode == Mode::NonDetLog {
+                            if let Some(e) = self.reqs.get_mut(r) {
+                                e.test_fails += 1;
+                            }
+                        }
+                        Ok(None)
+                    }
+                    Some((st, payload)) => {
+                        let payload = payload.unwrap_or_default();
+                        self.complete_recv(r, st, payload).map(Some)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Block until a request completes; consume it.
+    pub fn wait(&mut self, r: C3Req) -> Result<(Status, Vec<u8>)> {
+        self.drain_control()?;
+        if self.mode == Mode::Restore {
+            return self.wait_restore(r);
+        }
+        let entry = self
+            .reqs
+            .get(r)
+            .ok_or_else(|| C3Error::Protocol(format!("unknown request {r:?}")))?;
+        match entry.kind {
+            C3ReqKind::Send => {
+                let st = Status { src: entry.src as usize, tag: entry.tag, bytes: 0, piggyback: 0 };
+                self.reqs.release(r, self.mode.is_logging());
+                Ok((st, Vec::new()))
+            }
+            C3ReqKind::Recv => {
+                self.ensure_posted(r)?;
+                let mreq = self.reqs.get(r).and_then(|e| e.mpi).expect("posted above");
+                let (st, payload) = self.mpi.wait_payload(mreq).map_err(C3Error::Mpi)?;
+                let payload = payload.unwrap_or_default();
+                self.complete_recv(r, st, payload)
+            }
+        }
+    }
+
+    /// Block until any of the requests completes; returns its index.
+    /// Completion indices are logged during NonDet-Log and replayed during
+    /// recovery (§4.1 "log the index or indices of MPI_Wait_any").
+    pub fn wait_any(&mut self, list: &[C3Req]) -> Result<(usize, Status, Vec<u8>)> {
+        self.drain_control()?;
+        if list.is_empty() {
+            return Err(C3Error::Protocol("wait_any on empty request list".into()));
+        }
+        if self.mode == Mode::Restore {
+            if let Some(NondetEvent::WaitAny(i)) = self.reqs.nondet_events.front().cloned() {
+                self.reqs.nondet_events.pop_front();
+                let i = i as usize;
+                if i < list.len() {
+                    let (st, data) = self.wait_restore(list[i])?;
+                    return Ok((i, st, data));
+                }
+            }
+            // No logged event: serve any request whose data waits in the
+            // replay log, then fall back to live completion.
+            for (i, r) in list.iter().enumerate() {
+                let matches_log = {
+                    let e = self.reqs.get(*r);
+                    match e {
+                        Some(e) if e.kind == C3ReqKind::Recv && !e.completed => self
+                            .replay
+                            .take_p2p_match(e.src, e.tag, e.comm)
+                            .map(|en| (e.src, e.tag, e.comm, en)),
+                        Some(e) if e.kind == C3ReqKind::Send => {
+                            let (st, data) = self.wait_restore(*r)?;
+                            return Ok((i, st, data));
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some((_, _, _, entry)) = matches_log {
+                    // Put it back and let wait_restore consume it in order.
+                    match entry.data {
+                        Some(d) => {
+                            self.stats.replayed_recvs += 1;
+                            let st = synth_status(&entry.sig, d.len());
+                            self.reqs.release(*r, false);
+                            self.check_restore_done();
+                            return Ok((i, st, d));
+                        }
+                        None => {
+                            let ctag = match entry.sig.kind {
+                                StreamKind::P2p { tag } => tag,
+                                _ => unreachable!(),
+                            };
+                            let comm = entry.sig.comm;
+                            let (bytes, st) =
+                                self.mpi.recv_bytes(entry.sig.src as i32, ctag, CommId(comm))?;
+                            self.counters.received[st.src] += 1;
+                            self.reqs.release(*r, false);
+                            self.check_restore_done();
+                            return Ok((i, st, bytes));
+                        }
+                    }
+                }
+            }
+            // Live: ensure all posted, then wait on the substrate.
+            let mut mpi_ids = Vec::with_capacity(list.len());
+            for r in list {
+                self.ensure_posted(*r)?;
+                mpi_ids.push(self.reqs.get(*r).and_then(|e| e.mpi));
+            }
+            let live: Vec<(usize, mpisim::ReqId)> =
+                mpi_ids.iter().enumerate().filter_map(|(i, m)| m.map(|m| (i, m))).collect();
+            if live.is_empty() {
+                return Err(C3Error::Protocol("wait_any: no waitable requests".into()));
+            }
+            let ids: Vec<mpisim::ReqId> = live.iter().map(|(_, m)| *m).collect();
+            let (k, st, payload) = self.mpi.wait_any(&ids).map_err(C3Error::Mpi)?;
+            let i = live[k].0;
+            self.counters.received[st.src] += 1;
+            self.reqs.release(list[i], false);
+            self.check_restore_done();
+            return Ok((i, st, payload.unwrap_or_default()));
+        }
+        // Normal modes: sends (and anything already complete) win first, in
+        // index order, mirroring the substrate's scan.
+        for (i, r) in list.iter().enumerate() {
+            let is_send = self.reqs.get(*r).map(|e| e.kind == C3ReqKind::Send).unwrap_or(false);
+            if is_send {
+                let (st, data) = self.wait(*r)?;
+                self.log_waitany(i);
+                return Ok((i, st, data));
+            }
+        }
+        let mpi_ids: Vec<mpisim::ReqId> = list
+            .iter()
+            .map(|r| {
+                self.reqs
+                    .get(*r)
+                    .and_then(|e| e.mpi)
+                    .ok_or_else(|| C3Error::Protocol("wait_any on collected request".into()))
+            })
+            .collect::<Result<_>>()?;
+        let (i, st, payload) = self.mpi.wait_any(&mpi_ids).map_err(C3Error::Mpi)?;
+        self.log_waitany(i);
+        let payload = payload.unwrap_or_default();
+        let (st, payload) = self.complete_recv(list[i], st, payload)?;
+        Ok((i, st, payload))
+    }
+
+    /// Block until at least one request completes; consume and return all
+    /// completed `(index, status, payload)` triples.
+    pub fn wait_some(&mut self, list: &[C3Req]) -> Result<Vec<(usize, Status, Vec<u8>)>> {
+        self.drain_control()?;
+        if self.mode == Mode::Restore {
+            if let Some(NondetEvent::WaitSome(indices)) = self.reqs.nondet_events.front().cloned() {
+                self.reqs.nondet_events.pop_front();
+                let mut out = Vec::with_capacity(indices.len());
+                for i in indices {
+                    let i = i as usize;
+                    if i < list.len() {
+                        let (st, data) = self.wait_restore(list[i])?;
+                        out.push((i, st, data));
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(out);
+                }
+            }
+            let (i, st, data) = self.wait_any(list)?;
+            return Ok(vec![(i, st, data)]);
+        }
+        // Normal path: block via wait_any, then sweep for other completions.
+        let (first, st, data) = self.wait_any_no_log(list)?;
+        let mut out = vec![(first, st, data)];
+        for (i, r) in list.iter().enumerate() {
+            if i == first {
+                continue;
+            }
+            if self.reqs.get(*r).map(|e| e.mpi.is_some()).unwrap_or(false) {
+                if let Some((st, data)) = self.test_no_count(*r)? {
+                    out.push((i, st, data));
+                }
+            }
+        }
+        if self.mode == Mode::NonDetLog {
+            self.reqs
+                .nondet_events
+                .push_back(NondetEvent::WaitSome(out.iter().map(|(i, _, _)| *i as u32).collect()));
+        }
+        Ok(out)
+    }
+
+    /// Wait for all requests, in order.
+    pub fn wait_all(&mut self, list: &[C3Req]) -> Result<Vec<(Status, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(list.len());
+        for r in list {
+            out.push(self.wait(*r)?);
+        }
+        Ok(out)
+    }
+
+    fn log_waitany(&mut self, i: usize) {
+        if self.mode == Mode::NonDetLog {
+            self.reqs.nondet_events.push_back(NondetEvent::WaitAny(i as u32));
+        }
+    }
+
+    /// wait_any without event logging (used inside wait_some, which logs the
+    /// whole index set instead).
+    fn wait_any_no_log(&mut self, list: &[C3Req]) -> Result<(usize, Status, Vec<u8>)> {
+        for (i, r) in list.iter().enumerate() {
+            let is_send = self.reqs.get(*r).map(|e| e.kind == C3ReqKind::Send).unwrap_or(false);
+            if is_send {
+                let (st, data) = self.wait(*r)?;
+                return Ok((i, st, data));
+            }
+        }
+        let mpi_ids: Vec<mpisim::ReqId> = list
+            .iter()
+            .map(|r| {
+                self.reqs
+                    .get(*r)
+                    .and_then(|e| e.mpi)
+                    .ok_or_else(|| C3Error::Protocol("wait_some on collected request".into()))
+            })
+            .collect::<Result<_>>()?;
+        let (i, st, payload) = self.mpi.wait_any(&mpi_ids).map_err(C3Error::Mpi)?;
+        let payload = payload.unwrap_or_default();
+        let (st, payload) = self.complete_recv(list[i], st, payload)?;
+        Ok((i, st, payload))
+    }
+
+    /// Non-counting test used by wait_some's sweep (the paper's counter
+    /// covers Test calls the application issues, not internal sweeps).
+    fn test_no_count(&mut self, r: C3Req) -> Result<Option<(Status, Vec<u8>)>> {
+        let entry = match self.reqs.get(r) {
+            Some(e) => e,
+            None => return Ok(None),
+        };
+        if entry.kind != C3ReqKind::Recv {
+            return Ok(None);
+        }
+        let mreq = match entry.mpi {
+            Some(m) => m,
+            None => return Ok(None),
+        };
+        match self.mpi.test(mreq).map_err(C3Error::Mpi)? {
+            None => Ok(None),
+            Some((st, payload)) => {
+                self.complete_recv(r, st, payload.unwrap_or_default()).map(Some)
+            }
+        }
+    }
+
+    /// Common completion path for receives in normal modes: classify, mark
+    /// the entry, apply protocol effects, release.
+    fn complete_recv(&mut self, r: C3Req, st: Status, payload: Vec<u8>) -> Result<(Status, Vec<u8>)> {
+        let (class, logging) = self.classify(st.piggyback);
+        let during_nondet = self.mode == Mode::NonDetLog;
+        let (wildcard, comm) = {
+            let e = self.reqs.get_mut(r).expect("completing known request");
+            e.completed = true;
+            e.completed_class = Some(class);
+            e.completed_during_log = during_nondet;
+            (e.src == ANY_SOURCE || e.tag == ANY_TAG, e.comm)
+        };
+        let sig = StreamSig {
+            src: st.src,
+            dst: self.mpi.rank(),
+            comm,
+            kind: StreamKind::P2p { tag: st.tag },
+        };
+        self.apply_arrival(class, logging, sig, wildcard, &payload)?;
+        self.reqs.release(r, self.mode.is_logging());
+        Ok((st, payload))
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery paths for requests
+    // ------------------------------------------------------------------
+
+    /// Lazily post the substrate receive for a request restored or created
+    /// during recovery.
+    fn ensure_posted(&mut self, r: C3Req) -> Result<()> {
+        let (needs, src, tag, comm) = match self.reqs.get(r) {
+            Some(e) if e.kind == C3ReqKind::Recv && e.mpi.is_none() && !e.completed => {
+                (true, e.src, e.tag, e.comm)
+            }
+            _ => (false, 0, 0, 0),
+        };
+        if needs {
+            let m = self.mpi.irecv_bytes(src, tag, CommId(comm)).map_err(C3Error::Mpi)?;
+            if let Some(e) = self.reqs.get_mut(r) {
+                e.mpi = Some(m);
+            }
+        }
+        Ok(())
+    }
+
+    /// Replay metadata for a request during recovery: pre-line entries carry
+    /// it in the table, post-line re-allocations in the replay map.
+    fn replay_meta(&mut self, r: C3Req) -> (u64, bool) {
+        if let Some(meta) = self.reqs.replay.get(&r.0) {
+            (meta.test_fails, meta.completed_during_log)
+        } else if let Some(e) = self.reqs.get(r) {
+            (e.test_fails, e.completed_during_log)
+        } else {
+            (0, false)
+        }
+    }
+
+    fn decrement_replay_fails(&mut self, r: C3Req) {
+        if let Some(meta) = self.reqs.replay.get_mut(&r.0) {
+            if meta.test_fails > 0 {
+                meta.test_fails -= 1;
+                return;
+            }
+        }
+        if let Some(e) = self.reqs.get_mut(r) {
+            if e.test_fails > 0 {
+                e.test_fails -= 1;
+            }
+        }
+    }
+
+    fn test_restore(&mut self, r: C3Req) -> Result<Option<(Status, Vec<u8>)>> {
+        let kind = self
+            .reqs
+            .get(r)
+            .map(|e| e.kind)
+            .ok_or_else(|| C3Error::Protocol(format!("unknown request {r:?}")))?;
+        if kind == C3ReqKind::Send {
+            let st = Status { src: self.mpi.rank(), tag: 0, bytes: 0, piggyback: 0 };
+            self.reqs.release(r, false);
+            return Ok(Some((st, Vec::new())));
+        }
+        let (fails, completed_during_log) = self.replay_meta(r);
+        if fails > 0 {
+            // "If the counter is not zero, the counter is decremented and
+            // the call returns without attempting to complete the request."
+            self.decrement_replay_fails(r);
+            return Ok(None);
+        }
+        if completed_during_log {
+            // "If the original call was successful, the call is substituted
+            // with a corresponding Wait operation", which cannot deadlock —
+            // the matching message is in the log or guaranteed to arrive.
+            return self.wait_restore(r).map(Some);
+        }
+        // Beyond the logged period: live test.
+        self.ensure_posted(r)?;
+        let mreq = self.reqs.get(r).and_then(|e| e.mpi).expect("posted above");
+        match self.mpi.test(mreq).map_err(C3Error::Mpi)? {
+            None => Ok(None),
+            Some((st, payload)) => {
+                self.counters.received[st.src] += 1;
+                self.reqs.release(r, false);
+                self.check_restore_done();
+                Ok(Some((st, payload.unwrap_or_default())))
+            }
+        }
+    }
+
+    fn wait_restore(&mut self, r: C3Req) -> Result<(Status, Vec<u8>)> {
+        let (kind, src, tag, comm) = {
+            let e = self
+                .reqs
+                .get(r)
+                .ok_or_else(|| C3Error::Protocol(format!("unknown request {r:?}")))?;
+            (e.kind, e.src, e.tag, e.comm)
+        };
+        if kind == C3ReqKind::Send {
+            let st = Status { src: self.mpi.rank(), tag, bytes: 0, piggyback: 0 };
+            self.reqs.release(r, false);
+            return Ok((st, Vec::new()));
+        }
+        if let Some(entry) = self.replay.take_p2p_match(src, tag, comm) {
+            match entry.data {
+                Some(data) => {
+                    self.stats.replayed_recvs += 1;
+                    let st = synth_status(&entry.sig, data.len());
+                    self.reqs.release(r, false);
+                    self.check_restore_done();
+                    return Ok((st, data));
+                }
+                None => {
+                    let ctag = match entry.sig.kind {
+                        StreamKind::P2p { tag } => tag,
+                        _ => unreachable!(),
+                    };
+                    let (bytes, st) =
+                        self.mpi.recv_bytes(entry.sig.src as i32, ctag, CommId(comm))?;
+                    self.counters.received[st.src] += 1;
+                    self.reqs.release(r, false);
+                    self.check_restore_done();
+                    return Ok((st, bytes));
+                }
+            }
+        }
+        self.ensure_posted(r)?;
+        let mreq = self.reqs.get(r).and_then(|e| e.mpi).expect("posted above");
+        let (st, payload) = self.mpi.wait_payload(mreq).map_err(C3Error::Mpi)?;
+        self.counters.received[st.src] += 1;
+        self.reqs.release(r, false);
+        self.check_restore_done();
+        Ok((st, payload.unwrap_or_default()))
+    }
+
+    // ==================================================================
+    // The checkpoint pragma and checkpoint actions (Fig. 5)
+    // ==================================================================
+
+    /// `#pragma ccc checkpoint`: the only application-side requirement of
+    /// the paper. Returns `Ok(true)` if a checkpoint was started here.
+    ///
+    /// The closure produces the application state to save; it is invoked
+    /// only when a checkpoint is actually taken.
+    pub fn pragma<F: FnOnce(&mut Encoder)>(&mut self, save: F) -> Result<bool> {
+        self.pragma_count += 1;
+        if let Some(f) = self.failure.clone() {
+            if f.rank == self.mpi.rank()
+                && !f.fired.load(Ordering::SeqCst)
+                && self.commit_count >= f.min_commits
+                && self.pragma_count >= f.at_pragma
+            {
+                f.fired.store(true, Ordering::SeqCst);
+                let reason = format!(
+                    "injected fail-stop at rank {} (pragma {}, {} commits)",
+                    f.rank, self.pragma_count, self.commit_count
+                );
+                self.mpi.fail_stop(&reason);
+                return Err(C3Error::Mpi(MpiError::Aborted));
+            }
+        }
+        self.drain_control()?;
+        if self.mode != Mode::Run {
+            return Ok(false);
+        }
+        let policy_applies = self.cfg.initiator.is_none_or(|r| r == self.mpi.rank());
+        let force = policy_applies && self.cfg.policy.wants(self.pragma_count, self.last_ckpt);
+        if force || self.ci.any(self.epoch + 1) {
+            let mut enc = Encoder::new();
+            save(&mut enc);
+            self.start_checkpoint(enc.finish())?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// `chkpt_StartCheckpoint` (Fig. 5).
+    pub(crate) fn start_checkpoint(&mut self, app_state: Vec<u8>) -> Result<()> {
+        debug_assert_eq!(self.mode, Mode::Run, "checkpoints start from Run");
+        // Advance Epoch.
+        self.epoch += 1;
+        self.stats.ckpts_started += 1;
+        let version = self.epoch;
+        // Prepare counters (returns the sent-counts for the CI messages).
+        let ci_counts = self.counters.start_checkpoint();
+        self.line_next_req = self.reqs.next_id();
+        self.reqs.reset_period();
+        // Save application state, basic MPI state, handle tables, and the
+        // Early-Message-Registry.
+        ckpt::write_line_sections(self, version, app_state)?;
+        self.early.clear();
+        // Send Checkpoint-Initiated to every node Q with Sent-Count[Q].
+        let me = self.mpi.rank();
+        for (q, count) in ci_counts.iter().enumerate() {
+            if q == me {
+                continue;
+            }
+            let payload = CiMsg { new_epoch: self.epoch, sent_count: *count }.encode();
+            self.mpi.send_bytes(q, TAG_CI, COMM_CTRL, 0, &payload)?;
+            self.stats.ci_sent += 1;
+        }
+        // Apply CIs already received for this round.
+        for (peer, count) in self.ci.take_round(self.epoch) {
+            self.counters.set_expected(peer, count);
+        }
+        self.mode = Mode::NonDetLog;
+        self.last_ckpt = Instant::now();
+        self.maybe_advance()
+    }
+
+    /// `chkpt_CommitCheckpoint` (Fig. 5): write the Late-Message-Registry
+    /// and request table, mark the version committed.
+    pub(crate) fn commit_checkpoint(&mut self) -> Result<()> {
+        debug_assert_eq!(self.mode, Mode::RecvOnlyLog, "commit happens from RecvOnly-Log");
+        ckpt::write_commit_sections(self, self.epoch)?;
+        self.replay = ReplayLog::new();
+        self.reqs.purge_deferred();
+        self.commit_count += 1;
+        self.stats.ckpts_committed += 1;
+        self.stats.last_commit_wall_ns = self.start_time.elapsed().as_nanos() as u64;
+        self.mode = Mode::Run;
+        Ok(())
+    }
+}
+
+/// Status for a receive served from the replay log: the message is
+/// intra-epoch by construction on the restored run.
+fn synth_status(sig: &StreamSig, len: usize) -> Status {
+    Status {
+        src: sig.src,
+        tag: match sig.kind {
+            StreamKind::P2p { tag } => tag,
+            StreamKind::Coll { .. } => 0,
+        },
+        bytes: len,
+        piggyback: 0,
+    }
+}

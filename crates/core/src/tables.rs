@@ -1,0 +1,384 @@
+//! Handle tables for datatypes and reduction operations (§4.2, Fig. 5).
+//!
+//! The protocol layer keeps, per rank, an indirection table over the MPI
+//! datatype handles that records *how each type was created* (the recipe)
+//! and the hierarchy between types. On recovery "this information is used to
+//! recreate all datatypes before the execution of the program resumes".
+//!
+//! Hierarchy retention: "we ensure that table entries are not actually
+//! deleted until both the datatype represented by the entry and all types
+//! depending on it have been deleted. Note that even though the table entry
+//! is kept around, the actual MPI datatype is being deleted" — so MPI-side
+//! resource usage matches a non-fault-tolerant run.
+//!
+//! Reduction operations are restored by *name* through the process-global
+//! registry of `mpisim::register_named_op`.
+
+use mpisim::{Datatype, DatatypeHandle, MpiError, OpHandle, RankCtx};
+use statesave::codec::{CodecError, Decoder, Encoder, Saveable};
+use std::collections::BTreeMap;
+
+/// How a datatype was created — enough to replay the creation call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DtRecipe {
+    /// `count` consecutive children.
+    Contiguous {
+        /// Element count.
+        count: usize,
+        /// Child handle.
+        child: u32,
+    },
+    /// Strided blocks.
+    Vector {
+        /// Block count.
+        count: usize,
+        /// Elements per block.
+        blocklen: usize,
+        /// Stride between block starts, in child extents.
+        stride: usize,
+        /// Child handle.
+        child: u32,
+    },
+    /// Blocks at explicit displacements.
+    Indexed {
+        /// `(displacement, blocklen)` pairs in child extents.
+        blocks: Vec<(usize, usize)>,
+        /// Child handle.
+        child: u32,
+    },
+    /// Heterogeneous fields.
+    Struct {
+        /// `(byte offset, count, child handle)` triples.
+        fields: Vec<(usize, usize, u32)>,
+        /// Byte extent of one element.
+        extent: usize,
+    },
+}
+
+impl DtRecipe {
+    fn children(&self) -> Vec<u32> {
+        match self {
+            DtRecipe::Contiguous { child, .. }
+            | DtRecipe::Vector { child, .. }
+            | DtRecipe::Indexed { child, .. } => vec![*child],
+            DtRecipe::Struct { fields, .. } => fields.iter().map(|(_, _, c)| *c).collect(),
+        }
+    }
+
+    fn to_mpisim(&self) -> Datatype {
+        match self {
+            DtRecipe::Contiguous { count, child } => {
+                Datatype::Contiguous { count: *count, child: DatatypeHandle(*child) }
+            }
+            DtRecipe::Vector { count, blocklen, stride, child } => Datatype::Vector {
+                count: *count,
+                blocklen: *blocklen,
+                stride: *stride,
+                child: DatatypeHandle(*child),
+            },
+            DtRecipe::Indexed { blocks, child } => {
+                Datatype::Indexed { blocks: blocks.clone(), child: DatatypeHandle(*child) }
+            }
+            DtRecipe::Struct { fields, extent } => Datatype::Struct {
+                fields: fields.iter().map(|(o, c, h)| (*o, *c, DatatypeHandle(*h))).collect(),
+                extent: *extent,
+            },
+        }
+    }
+}
+
+impl Saveable for DtRecipe {
+    fn save(&self, e: &mut Encoder) {
+        match self {
+            DtRecipe::Contiguous { count, child } => {
+                e.u8(0);
+                e.usize(*count);
+                e.u32(*child);
+            }
+            DtRecipe::Vector { count, blocklen, stride, child } => {
+                e.u8(1);
+                e.usize(*count);
+                e.usize(*blocklen);
+                e.usize(*stride);
+                e.u32(*child);
+            }
+            DtRecipe::Indexed { blocks, child } => {
+                e.u8(2);
+                e.save(blocks);
+                e.u32(*child);
+            }
+            DtRecipe::Struct { fields, extent } => {
+                e.u8(3);
+                e.u64(fields.len() as u64);
+                for (o, c, h) in fields {
+                    e.usize(*o);
+                    e.usize(*c);
+                    e.u32(*h);
+                }
+                e.usize(*extent);
+            }
+        }
+    }
+    fn load(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(match d.u8()? {
+            0 => DtRecipe::Contiguous { count: d.usize()?, child: d.u32()? },
+            1 => DtRecipe::Vector {
+                count: d.usize()?,
+                blocklen: d.usize()?,
+                stride: d.usize()?,
+                child: d.u32()?,
+            },
+            2 => DtRecipe::Indexed { blocks: d.load()?, child: d.u32()? },
+            3 => {
+                let n = d.u64()? as usize;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fields.push((d.usize()?, d.usize()?, d.u32()?));
+                }
+                DtRecipe::Struct { fields, extent: d.usize()? }
+            }
+            k => return Err(CodecError(format!("bad DtRecipe discriminant {k}"))),
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct DtEntry {
+    recipe: DtRecipe,
+    user_freed: bool,
+}
+
+/// The per-rank handle tables saved with every checkpoint.
+#[derive(Default, Debug)]
+pub struct HandleTables {
+    dts: BTreeMap<u32, DtEntry>,
+    user_ops: Vec<(u32, String)>,
+}
+
+impl HandleTables {
+    /// Empty tables (basic datatypes and built-in ops need no entries).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a datatype: commits it in the substrate and records the
+    /// recipe. Children must be alive (not user-freed) in this table or be
+    /// basic types.
+    pub fn create_datatype(&mut self, mpi: &mut RankCtx, recipe: DtRecipe) -> Result<DatatypeHandle, MpiError> {
+        for c in recipe.children() {
+            if c >= 6 {
+                match self.dts.get(&c) {
+                    Some(e) if !e.user_freed => {}
+                    _ => {
+                        return Err(MpiError::InvalidArg(format!(
+                            "child datatype {c} not alive in protocol table"
+                        )))
+                    }
+                }
+            }
+        }
+        let h = mpi.types.commit(recipe.to_mpisim())?;
+        self.dts.insert(h.0, DtEntry { recipe, user_freed: false });
+        Ok(h)
+    }
+
+    /// Free a datatype: the substrate handle is deleted immediately (MPI
+    /// resource parity), the recipe entry is retained while other entries
+    /// still depend on it.
+    pub fn free_datatype(&mut self, mpi: &mut RankCtx, h: DatatypeHandle) -> Result<(), MpiError> {
+        match self.dts.get_mut(&h.0) {
+            Some(e) if !e.user_freed => {
+                e.user_freed = true;
+            }
+            _ => return Err(MpiError::InvalidArg(format!("unknown protocol datatype {h:?}"))),
+        }
+        mpi.types.free(h)?;
+        self.gc();
+        Ok(())
+    }
+
+    /// Drop freed entries no other entry depends on (cascading).
+    fn gc(&mut self) {
+        loop {
+            let referenced: std::collections::HashSet<u32> =
+                self.dts.values().flat_map(|e| e.recipe.children()).collect();
+            let dead: Vec<u32> = self
+                .dts
+                .iter()
+                .filter(|(id, e)| e.user_freed && !referenced.contains(id))
+                .map(|(id, _)| *id)
+                .collect();
+            if dead.is_empty() {
+                return;
+            }
+            for id in dead {
+                self.dts.remove(&id);
+            }
+        }
+    }
+
+    /// Number of recipe entries currently retained.
+    pub fn datatype_entries(&self) -> usize {
+        self.dts.len()
+    }
+
+    /// Register a named user reduction op.
+    pub fn create_op(&mut self, mpi: &mut RankCtx, name: &str) -> Result<OpHandle, MpiError> {
+        let h = mpi.ops.create_user(name)?;
+        self.user_ops.push((h.0, name.to_string()));
+        Ok(h)
+    }
+
+    /// Free a user reduction op.
+    pub fn free_op(&mut self, mpi: &mut RankCtx, h: OpHandle) -> Result<(), MpiError> {
+        mpi.ops.free(h)?;
+        self.user_ops.retain(|(id, _)| *id != h.0);
+        Ok(())
+    }
+
+    /// Save both tables (Fig. 5: "Save handle tables — includes datatypes
+    /// and reduction operations").
+    pub fn save(&self, e: &mut Encoder) {
+        e.u64(self.dts.len() as u64);
+        for (id, entry) in &self.dts {
+            e.u32(*id);
+            entry.recipe.save(e);
+            e.bool(entry.user_freed);
+        }
+        e.save(&self.user_ops.iter().map(|(h, n)| (*h as u64, n.clone())).collect::<Vec<_>>());
+    }
+
+    /// Restore both tables and recreate every live datatype and op in the
+    /// substrate at its original handle. Retained-but-freed intermediates
+    /// are recreated and freed again so the hierarchy resolves.
+    pub fn load(d: &mut Decoder<'_>, mpi: &mut RankCtx) -> Result<Self, CodecError> {
+        let n = d.u64()? as usize;
+        let mut dts = BTreeMap::new();
+        for _ in 0..n {
+            let id = d.u32()?;
+            let recipe = DtRecipe::load(d)?;
+            let user_freed = d.bool()?;
+            dts.insert(id, DtEntry { recipe, user_freed });
+        }
+        // Recreate in ascending handle order (children precede parents).
+        for (id, entry) in &dts {
+            mpi.types
+                .commit_at(DatatypeHandle(*id), entry.recipe.to_mpisim())
+                .map_err(|e| CodecError(format!("datatype rebuild failed: {e}")))?;
+        }
+        for (id, entry) in &dts {
+            if entry.user_freed {
+                mpi.types
+                    .free(DatatypeHandle(*id))
+                    .map_err(|e| CodecError(format!("datatype re-free failed: {e}")))?;
+            }
+        }
+        let ops_raw: Vec<(u64, String)> = d.load()?;
+        let mut user_ops = Vec::with_capacity(ops_raw.len());
+        for (h, name) in ops_raw {
+            mpi.ops
+                .create_user_at(OpHandle(h as u32), &name)
+                .map_err(|e| CodecError(format!("op rebuild failed: {e}")))?;
+            user_ops.push((h as u32, name));
+        }
+        Ok(HandleTables { dts, user_ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{launch, JobSpec, DT_F64};
+
+    #[test]
+    fn create_free_and_hierarchy_retention() {
+        launch(&JobSpec::new(1), |mpi| {
+            let mut t = HandleTables::new();
+            let inner = t
+                .create_datatype(mpi, DtRecipe::Contiguous { count: 4, child: DT_F64.0 })
+                .unwrap();
+            let outer = t
+                .create_datatype(
+                    mpi,
+                    DtRecipe::Vector { count: 2, blocklen: 1, stride: 3, child: inner.0 },
+                )
+                .unwrap();
+            assert_eq!(t.datatype_entries(), 2);
+            // Freeing the child retains its entry (outer depends on it) but
+            // invalidates the substrate handle.
+            t.free_datatype(mpi, inner).unwrap();
+            assert_eq!(t.datatype_entries(), 2);
+            assert!(mpi.types.get(inner).is_err());
+            assert!(mpi.types.get(outer).is_ok());
+            // The outer type still packs correctly (definitions retained in
+            // the substrate).
+            assert_eq!(mpi.types.type_size(outer).unwrap(), 2 * 4 * 8);
+            // Freeing the parent cascades the child entry away.
+            t.free_datatype(mpi, outer).unwrap();
+            assert_eq!(t.datatype_entries(), 0);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cannot_build_on_freed_child() {
+        launch(&JobSpec::new(1), |mpi| {
+            let mut t = HandleTables::new();
+            let inner = t
+                .create_datatype(mpi, DtRecipe::Contiguous { count: 2, child: DT_F64.0 })
+                .unwrap();
+            t.free_datatype(mpi, inner).unwrap();
+            let err = t.create_datatype(
+                mpi,
+                DtRecipe::Contiguous { count: 2, child: inner.0 },
+            );
+            assert!(err.is_err());
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn save_restore_recreates_handles() {
+        mpisim::register_named_op(
+            "tables-test-max",
+            std::sync::Arc::new(|a, b, ty| {
+                let _ = (a, b, ty);
+            }),
+        );
+        launch(&JobSpec::new(1), |mpi| {
+            let mut t = HandleTables::new();
+            let inner = t
+                .create_datatype(mpi, DtRecipe::Contiguous { count: 4, child: DT_F64.0 })
+                .unwrap();
+            let outer = t
+                .create_datatype(
+                    mpi,
+                    DtRecipe::Struct { fields: vec![(0, 1, inner.0)], extent: 40 },
+                )
+                .unwrap();
+            t.free_datatype(mpi, inner).unwrap();
+            let op = t.create_op(mpi, "tables-test-max").unwrap();
+
+            let mut e = Encoder::new();
+            t.save(&mut e);
+            let buf = e.finish();
+
+            // Restore into a *fresh* rank context.
+            launch(&JobSpec::new(1), move |mpi2| {
+                let t2 = HandleTables::load(&mut Decoder::new(&buf), mpi2).unwrap();
+                assert_eq!(t2.datatype_entries(), 2);
+                // Same handles valid, same layouts; the freed intermediate
+                // is freed again.
+                assert!(mpi2.types.get(inner).is_err());
+                assert_eq!(mpi2.types.type_size(outer).unwrap(), 32);
+                assert!(mpi2.ops.get(op).is_ok());
+                Ok(())
+            })
+            .unwrap();
+            Ok(())
+        })
+        .unwrap();
+    }
+}

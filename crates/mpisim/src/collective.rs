@@ -1,0 +1,396 @@
+//! Collective operations.
+//!
+//! As in MPI, collectives match across ranks by call order on the
+//! communicator and (with the exception of barrier) do not synchronize the
+//! participants. Internally they run over point-to-point messages on a
+//! hidden shadow communicator, so they never interfere with application
+//! matching.
+//!
+//! Every collective takes the caller's *piggyback byte* and returns the
+//! piggyback bytes of the logical communication streams the caller received.
+//! This is the hook the paper's protocol layer needs (§4.3): it applies the
+//! send/receive protocol to the start and end points of each individual
+//! stream within a collective "without affecting the actual data transfer
+//! mechanisms". A plain application passes 0 and ignores the results.
+//!
+//! Reductions are folded in rank order, making results deterministic for a
+//! fixed rank count — a property the protocol layer's replay relies on.
+
+use crate::ctx::RankCtx;
+use crate::datatype::BasicType;
+use crate::error::{MpiError, Result};
+use crate::op::{apply_op, ReduceOp};
+use crate::{CommId, Rank, Tag};
+
+/// Gathered pieces at a collective root: one `(piggyback, payload)` per
+/// contributing rank, rank-ordered.
+pub type GatheredParts = Vec<(CollPig, Vec<u8>)>;
+
+/// The piggyback byte observed on one logical stream of a collective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollPig {
+    /// World rank of the stream's sender.
+    pub src: Rank,
+    /// That sender's piggyback byte at the time of its call.
+    pub pig: u8,
+}
+
+fn encode_streams(items: &[(CollPig, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + items.iter().map(|(_, d)| d.len() + 9).sum::<usize>());
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for (cp, data) in items {
+        out.extend_from_slice(&(cp.src as u32).to_le_bytes());
+        out.push(cp.pig);
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+fn decode_streams(b: &[u8]) -> Result<Vec<(CollPig, Vec<u8>)>> {
+    let bad = || MpiError::Internal("malformed collective bundle".into());
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        if *pos + n > b.len() {
+            return Err(bad());
+        }
+        let s = &b[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let src = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as Rank;
+        let pig = take(&mut pos, 1)?[0];
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let data = take(&mut pos, len)?.to_vec();
+        out.push((CollPig { src, pig }, data));
+    }
+    if pos != b.len() {
+        return Err(bad());
+    }
+    Ok(out)
+}
+
+/// Fold `next` into `acc` preserving operand order: `acc = op(acc, next)`.
+pub fn fold_into(op: &ReduceOp, acc: &mut [u8], next: &[u8], ty: BasicType) -> Result<()> {
+    let prev = acc.to_vec();
+    acc.copy_from_slice(next);
+    apply_op(op, &prev, acc, ty)
+}
+
+impl RankCtx {
+    fn coll_tag(&mut self, comm: CommId) -> Tag {
+        let c = self.coll_seq.entry(comm).or_insert(0);
+        let t = (*c % (1 << 30)) as Tag;
+        *c += 1;
+        t
+    }
+
+    /// Number of collective calls issued so far on `comm`. The protocol
+    /// layer uses this as the deterministic collective-instance id in stream
+    /// signatures.
+    pub fn coll_calls(&self, comm: CommId) -> u64 {
+        self.coll_seq.get(&comm).copied().unwrap_or(0)
+    }
+
+    /// Restore the collective call counter on recovery so that replayed
+    /// collective instances reuse the original tags.
+    pub fn set_coll_calls(&mut self, comm: CommId, n: u64) {
+        self.coll_seq.insert(comm, n);
+    }
+
+    /// Broadcast `data` from `root`. Binomial tree; the root's piggyback
+    /// byte travels with the payload and is returned to every receiver.
+    pub fn bcast(&mut self, comm: CommId, root: Rank, data: &mut Vec<u8>, my_pig: u8) -> Result<u8> {
+        let n = self.nranks();
+        let me = self.rank();
+        let tag = self.coll_tag(comm);
+        let shadow = comm.collective_shadow();
+        if n == 1 {
+            return Ok(my_pig);
+        }
+        let relrank = (me + n - root) % n;
+        let mut root_pig = my_pig;
+        // Receive phase.
+        let mut mask = 1usize;
+        while mask < n {
+            if relrank & mask != 0 {
+                let src = (relrank - mask + root) % n;
+                let (bytes, _st) = self.recv_bytes(src as i32, tag, shadow)?;
+                root_pig = bytes[0];
+                *data = bytes[1..].to_vec();
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase.
+        let mut payload = Vec::with_capacity(1 + data.len());
+        payload.push(root_pig);
+        payload.extend_from_slice(data);
+        mask >>= 1;
+        while mask > 0 {
+            if relrank + mask < n {
+                let dst = (relrank + mask + root) % n;
+                self.send_bytes(dst, tag, shadow, root_pig, &payload)?;
+            }
+            mask >>= 1;
+        }
+        Ok(root_pig)
+    }
+
+    /// Gather every rank's buffer at `root`. Streams go directly to the
+    /// root, which returns them ordered by source rank (including its own);
+    /// non-roots return `None`. Buffers may have different lengths
+    /// (subsumes `MPI_Gatherv`).
+    pub fn gather(
+        &mut self,
+        comm: CommId,
+        root: Rank,
+        mine: &[u8],
+        my_pig: u8,
+    ) -> Result<Option<GatheredParts>> {
+        let n = self.nranks();
+        let me = self.rank();
+        let tag = self.coll_tag(comm);
+        let shadow = comm.collective_shadow();
+        if me != root {
+            self.send_bytes(root, tag, shadow, my_pig, mine)?;
+            return Ok(None);
+        }
+        let mut out: Vec<(CollPig, Vec<u8>)> = Vec::with_capacity(n);
+        out.push((CollPig { src: me, pig: my_pig }, mine.to_vec()));
+        for src in 0..n {
+            if src == me {
+                continue;
+            }
+            let (bytes, st) = self.recv_bytes(src as i32, tag, shadow)?;
+            out.push((CollPig { src, pig: st.piggyback }, bytes));
+        }
+        out.sort_by_key(|(cp, _)| cp.src);
+        Ok(Some(out))
+    }
+
+    /// Scatter per-rank buffers from `root`; each rank receives its part and
+    /// the root's piggyback byte. Subsumes `MPI_Scatterv`.
+    pub fn scatter(
+        &mut self,
+        comm: CommId,
+        root: Rank,
+        parts: Option<&[Vec<u8>]>,
+        my_pig: u8,
+    ) -> Result<(Vec<u8>, u8)> {
+        let n = self.nranks();
+        let me = self.rank();
+        let tag = self.coll_tag(comm);
+        let shadow = comm.collective_shadow();
+        if me == root {
+            let parts = parts.ok_or_else(|| MpiError::InvalidArg("root must supply parts".into()))?;
+            if parts.len() != n {
+                return Err(MpiError::InvalidArg(format!(
+                    "scatter needs {n} parts, got {}",
+                    parts.len()
+                )));
+            }
+            for (dst, part) in parts.iter().enumerate() {
+                if dst != me {
+                    self.send_bytes(dst, tag, shadow, my_pig, part)?;
+                }
+            }
+            Ok((parts[me].clone(), my_pig))
+        } else {
+            let (bytes, st) = self.recv_bytes(root as i32, tag, shadow)?;
+            Ok((bytes, st.piggyback))
+        }
+    }
+
+    /// All-gather: every rank receives every rank's buffer, with piggyback
+    /// bytes for all logical streams. Implemented as gather-at-0 + bcast.
+    pub fn allgather(&mut self, comm: CommId, mine: &[u8], my_pig: u8) -> Result<Vec<(CollPig, Vec<u8>)>> {
+        let gathered = self.gather(comm, 0, mine, my_pig)?;
+        let mut bundle = match gathered {
+            Some(items) => encode_streams(&items),
+            None => Vec::new(),
+        };
+        self.bcast(comm, 0, &mut bundle, my_pig)?;
+        decode_streams(&bundle)
+    }
+
+    /// Barrier: implemented as an allgather of empty payloads. Returns the
+    /// piggyback bytes of all participants (the barrier's logical streams
+    /// are all-to-all).
+    pub fn barrier(&mut self, comm: CommId, my_pig: u8) -> Result<Vec<CollPig>> {
+        let items = self.allgather(comm, &[], my_pig)?;
+        Ok(items.into_iter().map(|(cp, _)| cp).collect())
+    }
+
+    /// All-to-all personalized exchange: `parts[i]` goes to rank `i`; the
+    /// result is indexed by source rank. Subsumes `MPI_Alltoallv`.
+    pub fn alltoall(&mut self, comm: CommId, parts: &[Vec<u8>], my_pig: u8) -> Result<Vec<(CollPig, Vec<u8>)>> {
+        let n = self.nranks();
+        let me = self.rank();
+        if parts.len() != n {
+            return Err(MpiError::InvalidArg(format!("alltoall needs {n} parts, got {}", parts.len())));
+        }
+        let tag = self.coll_tag(comm);
+        let shadow = comm.collective_shadow();
+        let mut out: Vec<Option<(CollPig, Vec<u8>)>> = (0..n).map(|_| None).collect();
+        out[me] = Some((CollPig { src: me, pig: my_pig }, parts[me].clone()));
+        // Pairwise rounds; sends are buffered so send-then-recv cannot
+        // deadlock.
+        for k in 1..n {
+            let dst = (me + k) % n;
+            let src = (me + n - k) % n;
+            self.send_bytes(dst, tag, shadow, my_pig, &parts[dst])?;
+            let (bytes, st) = self.recv_bytes(src as i32, tag, shadow)?;
+            out[src] = Some((CollPig { src, pig: st.piggyback }, bytes));
+        }
+        Ok(out.into_iter().map(|o| o.expect("all slots filled")).collect())
+    }
+
+    /// Reduce to `root` with deterministic rank-order folding. Returns the
+    /// result at the root, `None` elsewhere.
+    pub fn reduce(
+        &mut self,
+        comm: CommId,
+        root: Rank,
+        data: &[u8],
+        ty: BasicType,
+        op: &ReduceOp,
+        my_pig: u8,
+    ) -> Result<Option<Vec<u8>>> {
+        let gathered = self.gather(comm, root, data, my_pig)?;
+        match gathered {
+            None => Ok(None),
+            Some(items) => {
+                let mut acc = items[0].1.clone();
+                for (_, d) in &items[1..] {
+                    fold_into(op, &mut acc, d, ty)?;
+                }
+                Ok(Some(acc))
+            }
+        }
+    }
+
+    /// All-reduce with deterministic rank-order folding. Every rank receives
+    /// the result *and* the piggyback bytes of all participants — the
+    /// protocol layer needs the latter to classify the call's logical
+    /// streams and decide whether to log the result (§4.3).
+    pub fn allreduce(
+        &mut self,
+        comm: CommId,
+        data: &[u8],
+        ty: BasicType,
+        op: &ReduceOp,
+        my_pig: u8,
+    ) -> Result<(Vec<u8>, Vec<CollPig>)> {
+        let gathered = self.gather(comm, 0, data, my_pig)?;
+        let mut bundle = match gathered {
+            Some(items) => {
+                let mut acc = items[0].1.clone();
+                for (_, d) in &items[1..] {
+                    fold_into(op, &mut acc, d, ty)?;
+                }
+                let pigs: Vec<(CollPig, Vec<u8>)> =
+                    items.iter().map(|(cp, _)| (*cp, Vec::new())).collect();
+                let mut b = encode_streams(&pigs);
+                b.extend_from_slice(&(acc.len() as u32).to_le_bytes());
+                b.extend_from_slice(&acc);
+                b
+            }
+            None => Vec::new(),
+        };
+        self.bcast(comm, 0, &mut bundle, my_pig)?;
+        // Decode: stream list then result.
+        let items_end = {
+            // Re-decode prefix length by parsing.
+            let streams = decode_prefix_streams(&bundle)?;
+            streams
+        };
+        let (streams, rest) = items_end;
+        let len = u32::from_le_bytes(
+            rest.get(0..4)
+                .ok_or_else(|| MpiError::Internal("allreduce bundle truncated".into()))?
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let result = rest
+            .get(4..4 + len)
+            .ok_or_else(|| MpiError::Internal("allreduce bundle truncated".into()))?
+            .to_vec();
+        Ok((result, streams))
+    }
+
+    /// Inclusive prefix scan with rank-order folding along the chain
+    /// (rank `i` receives the prefix of ranks `0..i`). Returns this rank's
+    /// result and the piggyback bytes of its predecessors plus itself —
+    /// exactly the logical streams the paper's dependency-chain argument
+    /// covers (§4.3).
+    pub fn scan(
+        &mut self,
+        comm: CommId,
+        data: &[u8],
+        ty: BasicType,
+        op: &ReduceOp,
+        my_pig: u8,
+    ) -> Result<(Vec<u8>, Vec<CollPig>)> {
+        let n = self.nranks();
+        let me = self.rank();
+        let tag = self.coll_tag(comm);
+        let shadow = comm.collective_shadow();
+        let mut result = data.to_vec();
+        let mut pigs: Vec<CollPig> = Vec::with_capacity(me + 1);
+        if me > 0 {
+            let (bytes, _st) = self.recv_bytes((me - 1) as i32, tag, shadow)?;
+            let items = decode_streams(&bytes)?;
+            // Last item is the accumulated prefix; the rest are predecessor
+            // pigs with empty payloads.
+            let mut iter = items.into_iter();
+            let mut prefix = Vec::new();
+            for (cp, d) in iter.by_ref() {
+                if cp.src == me - 1 {
+                    // predecessor entry carries the accumulated prefix
+                    pigs.push(cp);
+                    prefix = d;
+                } else {
+                    pigs.push(cp);
+                }
+            }
+            let mut acc = prefix;
+            fold_into(op, &mut acc, data, ty)?;
+            result = acc;
+        }
+        pigs.push(CollPig { src: me, pig: my_pig });
+        if me + 1 < n {
+            let mut items: Vec<(CollPig, Vec<u8>)> =
+                pigs.iter().map(|cp| (*cp, Vec::new())).collect();
+            // The own entry (last) carries the accumulated prefix.
+            items.last_mut().expect("nonempty").1 = result.clone();
+            let bundle = encode_streams(&items);
+            self.send_bytes(me + 1, tag, shadow, my_pig, &bundle)?;
+        }
+        Ok((result, pigs))
+    }
+}
+
+fn decode_prefix_streams(b: &[u8]) -> Result<(Vec<CollPig>, &[u8])> {
+    let bad = || MpiError::Internal("malformed collective bundle".into());
+    if b.len() < 4 {
+        return Err(bad());
+    }
+    let count = u32::from_le_bytes(b[0..4].try_into().unwrap()) as usize;
+    let mut pos = 4usize;
+    let mut pigs = Vec::with_capacity(count);
+    for _ in 0..count {
+        if pos + 9 > b.len() {
+            return Err(bad());
+        }
+        let src = u32::from_le_bytes(b[pos..pos + 4].try_into().unwrap()) as Rank;
+        let pig = b[pos + 4];
+        let len = u32::from_le_bytes(b[pos + 5..pos + 9].try_into().unwrap()) as usize;
+        pos += 9 + len;
+        pigs.push(CollPig { src, pig });
+    }
+    Ok((pigs, &b[pos..]))
+}

@@ -1,0 +1,374 @@
+//! The per-rank handle to the substrate: point-to-point operations,
+//! request management, datatype/op tables, virtual time.
+
+use crate::datatype::{DatatypeHandle, TypeTable};
+use crate::envelope::Envelope;
+use crate::error::{MpiError, Result};
+use crate::network::Network;
+use crate::op::OpTable;
+use crate::pod::{self, Pod};
+use crate::request::{ReqId, RequestTable, Status};
+use crate::{CommId, Rank, Tag, COMM_WORLD};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocked operation sleeps between progress polls. Bounds the
+/// latency of fail-stop (poison) detection.
+const POLL: Duration = Duration::from_micros(200);
+
+/// A rank's handle to the job: the substrate analogue of "the MPI library"
+/// as seen by one process.
+pub struct RankCtx {
+    rank: Rank,
+    nranks: usize,
+    net: Arc<Network>,
+    pub(crate) reqs: RequestTable,
+    /// Committed datatypes of this rank.
+    pub types: TypeTable,
+    /// Reduction operations of this rank.
+    pub ops: OpTable,
+    /// Per-destination send sequence numbers (FIFO bookkeeping).
+    send_seq: Vec<u64>,
+    /// Per-communicator collective call counters (collectives match by call
+    /// order on the communicator, as in MPI).
+    pub(crate) coll_seq: HashMap<CommId, u64>,
+    /// Virtual clock in nanoseconds under the cluster model.
+    vclock: u64,
+}
+
+impl RankCtx {
+    pub(crate) fn new(rank: Rank, net: Arc<Network>) -> Self {
+        let nranks = net.nranks();
+        RankCtx {
+            rank,
+            nranks,
+            net,
+            reqs: RequestTable::new(),
+            types: TypeTable::new(),
+            ops: OpTable::new(),
+            send_seq: vec![0; nranks],
+            coll_seq: HashMap::new(),
+            vclock: 0,
+        }
+    }
+
+    /// This rank's index in the world communicator.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The shared network (for diagnostics and fault injection).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// Current virtual time in nanoseconds.
+    #[inline]
+    pub fn vtime(&self) -> u64 {
+        self.vclock
+    }
+
+    /// Advance the virtual clock by `ns` of computation.
+    #[inline]
+    pub fn compute(&mut self, ns: u64) {
+        self.vclock += ns;
+    }
+
+    /// Return `Err(Aborted)` if the job has been poisoned.
+    #[inline]
+    pub fn check_abort(&self) -> Result<()> {
+        if self.net.is_poisoned() {
+            Err(MpiError::Aborted)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Poison the job (fail-stop this rank). Every rank's next blocking or
+    /// issued operation returns `Aborted`.
+    pub fn fail_stop(&self, reason: &str) {
+        self.net.poison(reason);
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send raw bytes to `dst` with full control over communicator and the
+    /// protocol piggyback byte. Standard-mode buffered: completes locally.
+    pub fn send_bytes(
+        &mut self,
+        dst: Rank,
+        tag: Tag,
+        comm: CommId,
+        piggyback: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        self.check_abort()?;
+        if dst >= self.nranks {
+            return Err(MpiError::InvalidArg(format!("destination {dst} out of range")));
+        }
+        if tag < 0 {
+            return Err(MpiError::InvalidArg(format!("negative tag {tag} on send")));
+        }
+        self.vclock += self.net.cluster().send_overhead_ns;
+        let seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
+        self.net.send(Envelope {
+            src: self.rank,
+            dst,
+            tag,
+            comm,
+            seq,
+            piggyback,
+            depart_vt: self.vclock,
+            payload: payload.to_vec().into_boxed_slice(),
+        });
+        Ok(())
+    }
+
+    /// Send a typed slice on the world communicator (piggyback 0).
+    pub fn send<T: Pod>(&mut self, dst: Rank, tag: Tag, data: &[T]) -> Result<()> {
+        self.send_bytes(dst, tag, COMM_WORLD, 0, pod::bytes_of(data))
+    }
+
+    /// Send `count` elements of derived datatype `dt` gathered from `buf`.
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Send's argument list
+    pub fn send_dt(
+        &mut self,
+        dst: Rank,
+        tag: Tag,
+        comm: CommId,
+        piggyback: u8,
+        buf: &[u8],
+        count: usize,
+        dt: DatatypeHandle,
+    ) -> Result<()> {
+        let packed = self.types.pack(buf, count, dt)?;
+        self.send_bytes(dst, tag, comm, piggyback, &packed)
+    }
+
+    /// Blocking receive of raw bytes matching `(src, tag, comm)` (wildcards
+    /// allowed). Returns the payload and status (which carries the sender's
+    /// piggyback byte).
+    pub fn recv_bytes(&mut self, src: i32, tag: Tag, comm: CommId) -> Result<(Vec<u8>, Status)> {
+        let req = self.irecv_bytes(src, tag, comm)?;
+        let (st, payload) = self.wait_payload(req)?;
+        Ok((payload.expect("receive yields payload"), st))
+    }
+
+    /// Blocking receive of a typed vector on the world communicator.
+    pub fn recv<T: Pod>(&mut self, src: i32, tag: Tag) -> Result<(Vec<T>, Status)> {
+        let (bytes, st) = self.recv_bytes(src, tag, COMM_WORLD)?;
+        Ok((pod::vec_from_bytes(&bytes), st))
+    }
+
+    /// Blocking receive scattering `count` elements of datatype `dt` into
+    /// `buf`.
+    pub fn recv_dt(
+        &mut self,
+        src: i32,
+        tag: Tag,
+        comm: CommId,
+        buf: &mut [u8],
+        count: usize,
+        dt: DatatypeHandle,
+    ) -> Result<Status> {
+        let (bytes, st) = self.recv_bytes(src, tag, comm)?;
+        self.types.unpack(&bytes, buf, count, dt)?;
+        Ok(st)
+    }
+
+    /// Non-blocking claim: receive a matching message only if one has
+    /// already arrived.
+    pub fn try_recv_bytes(&mut self, src: i32, tag: Tag, comm: CommId) -> Result<Option<(Vec<u8>, Status)>> {
+        self.check_abort()?;
+        // Pending posted receives have matching priority; do not steal from
+        // them. Progress first so they claim what is theirs.
+        self.reqs.progress(self.net.mailbox(self.rank));
+        match self.net.mailbox(self.rank).try_claim(src, tag, comm) {
+            Some(env) => {
+                self.note_arrival(&env);
+                let st = Status {
+                    src: env.src,
+                    tag: env.tag,
+                    bytes: env.payload.len(),
+                    piggyback: env.piggyback,
+                };
+                Ok(Some((env.payload.into_vec(), st)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Non-destructive probe for a matching message: `(src, tag, bytes)`.
+    pub fn iprobe(&mut self, src: i32, tag: Tag, comm: CommId) -> Result<Option<(Rank, Tag, usize)>> {
+        self.check_abort()?;
+        self.net.nudge(self.rank);
+        Ok(self.net.mailbox(self.rank).probe(src, tag, comm))
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking operations
+    // ------------------------------------------------------------------
+
+    /// Initiate a non-blocking send. Buffered: the returned request is
+    /// already complete, but must still be collected with `wait`/`test`.
+    pub fn isend_bytes(
+        &mut self,
+        dst: Rank,
+        tag: Tag,
+        comm: CommId,
+        piggyback: u8,
+        payload: &[u8],
+    ) -> Result<ReqId> {
+        self.send_bytes(dst, tag, comm, piggyback, payload)?;
+        Ok(self.reqs.add_send(dst, tag, payload.len()))
+    }
+
+    /// Initiate a non-blocking typed send on the world communicator.
+    pub fn isend<T: Pod>(&mut self, dst: Rank, tag: Tag, data: &[T]) -> Result<ReqId> {
+        self.isend_bytes(dst, tag, COMM_WORLD, 0, pod::bytes_of(data))
+    }
+
+    /// Post a non-blocking receive (wildcards allowed).
+    pub fn irecv_bytes(&mut self, src: i32, tag: Tag, comm: CommId) -> Result<ReqId> {
+        self.check_abort()?;
+        Ok(self.reqs.add_recv(src, tag, comm))
+    }
+
+    /// Post a non-blocking receive on the world communicator.
+    pub fn irecv(&mut self, src: i32, tag: Tag) -> Result<ReqId> {
+        self.irecv_bytes(src, tag, COMM_WORLD)
+    }
+
+    /// Test a request for completion without blocking. On completion the
+    /// request is consumed and the payload (for receives) returned.
+    pub fn test(&mut self, req: ReqId) -> Result<Option<(Status, Option<Vec<u8>>)>> {
+        self.check_abort()?;
+        self.reqs.progress(self.net.mailbox(self.rank));
+        match self.reqs.is_done(req) {
+            None => Err(MpiError::InvalidArg(format!("unknown request {req:?}"))),
+            Some(false) => Ok(None),
+            Some(true) => {
+                let (st, env) = self.reqs.take(req).expect("done request collectable");
+                Ok(Some(self.finish(st, env)))
+            }
+        }
+    }
+
+    /// Block until a request completes; consume it.
+    pub fn wait(&mut self, req: ReqId) -> Result<Status> {
+        self.wait_payload(req).map(|(st, _)| st)
+    }
+
+    /// Block until a request completes; consume it, returning the payload
+    /// for receives.
+    pub fn wait_payload(&mut self, req: ReqId) -> Result<(Status, Option<Vec<u8>>)> {
+        loop {
+            self.check_abort()?;
+            self.reqs.progress(self.net.mailbox(self.rank));
+            match self.reqs.is_done(req) {
+                None => return Err(MpiError::InvalidArg(format!("unknown request {req:?}"))),
+                Some(true) => {
+                    let (st, env) = self.reqs.take(req).expect("done request collectable");
+                    return Ok(self.finish(st, env));
+                }
+                Some(false) => {
+                    self.net.mailbox(self.rank).wait(POLL);
+                    self.net.nudge(self.rank);
+                }
+            }
+        }
+    }
+
+    /// Block until *any* of the given requests completes; returns its index
+    /// in `reqs` plus status/payload. Completion choice is nondeterministic
+    /// (arrival timing), which is exactly the nondeterminism the protocol
+    /// layer must log for `MPI_Waitany` (§4.1).
+    pub fn wait_any(&mut self, reqs: &[ReqId]) -> Result<(usize, Status, Option<Vec<u8>>)> {
+        if reqs.is_empty() {
+            return Err(MpiError::InvalidArg("wait_any on empty request list".into()));
+        }
+        loop {
+            self.check_abort()?;
+            self.reqs.progress(self.net.mailbox(self.rank));
+            for (i, r) in reqs.iter().enumerate() {
+                if self.reqs.is_done(*r) == Some(true) {
+                    let (st, env) = self.reqs.take(*r).expect("done request collectable");
+                    let (st, payload) = self.finish(st, env);
+                    return Ok((i, st, payload));
+                }
+            }
+            self.net.mailbox(self.rank).wait(POLL);
+            self.net.nudge(self.rank);
+        }
+    }
+
+    /// Block until at least one request completes; consume and return all
+    /// currently-completed ones as `(index, status, payload)` triples.
+    pub fn wait_some(&mut self, reqs: &[ReqId]) -> Result<Vec<crate::Completion>> {
+        if reqs.is_empty() {
+            return Err(MpiError::InvalidArg("wait_some on empty request list".into()));
+        }
+        loop {
+            self.check_abort()?;
+            self.reqs.progress(self.net.mailbox(self.rank));
+            let mut out = Vec::new();
+            for (i, r) in reqs.iter().enumerate() {
+                if self.reqs.is_done(*r) == Some(true) {
+                    let (st, env) = self.reqs.take(*r).expect("done request collectable");
+                    let (st, payload) = self.finish(st, env);
+                    out.push((i, st, payload));
+                }
+            }
+            if !out.is_empty() {
+                return Ok(out);
+            }
+            self.net.mailbox(self.rank).wait(POLL);
+            self.net.nudge(self.rank);
+        }
+    }
+
+    /// Block until all requests complete; consume them in order.
+    pub fn wait_all(&mut self, reqs: &[ReqId]) -> Result<Vec<(Status, Option<Vec<u8>>)>> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            out.push(self.wait_payload(*r)?);
+        }
+        Ok(out)
+    }
+
+    /// Cancel a pending receive request (recovery-time rollback, §4.1).
+    pub fn cancel(&mut self, req: ReqId) -> bool {
+        self.reqs.cancel(req)
+    }
+
+    /// Number of live (uncollected) requests — diagnostics.
+    pub fn live_requests(&self) -> usize {
+        self.reqs.live()
+    }
+
+    fn finish(&mut self, st: Status, env: Option<Envelope>) -> (Status, Option<Vec<u8>>) {
+        match env {
+            Some(e) => {
+                self.note_arrival(&e);
+                (st, Some(e.payload.into_vec()))
+            }
+            None => (st, None),
+        }
+    }
+
+    fn note_arrival(&mut self, env: &Envelope) {
+        let arrive = env.depart_vt + self.net.cluster().transfer_ns(env.payload.len());
+        self.vclock = self.vclock.max(arrive);
+    }
+}

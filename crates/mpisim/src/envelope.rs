@@ -1,0 +1,95 @@
+//! Message envelopes and matching signatures.
+
+use crate::{CommId, Rank, Tag};
+
+/// The matching signature of a message: `(source, tag, communicator)`.
+///
+/// This is exactly the paper's message signature (`<sending node number,
+/// tag, communicator>`): per-signature delivery is FIFO, but there is no
+/// ordering guarantee *across* signatures, which is why the protocol layer
+/// must piggyback epoch information on every message (§2.4, §3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Signature {
+    /// World rank of the sender.
+    pub src: Rank,
+    /// Application tag.
+    pub tag: Tag,
+    /// Communicator the message travels on.
+    pub comm: CommId,
+}
+
+/// A message in flight or in a mailbox.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// World rank of the sender.
+    pub src: Rank,
+    /// World rank of the destination.
+    pub dst: Rank,
+    /// Application tag.
+    pub tag: Tag,
+    /// Communicator.
+    pub comm: CommId,
+    /// Per-(src,dst,comm) monotone sequence number; used to assert
+    /// per-signature FIFO in tests and by the reordering model to avoid
+    /// violating it.
+    pub seq: u64,
+    /// Opaque piggyback byte owned by the protocol layer above the substrate
+    /// (the paper's 3 piggybacked bits travel here). The substrate never
+    /// interprets it.
+    pub piggyback: u8,
+    /// Virtual departure time (ns) under the cluster model.
+    pub depart_vt: u64,
+    /// The (packed) message payload.
+    pub payload: Box<[u8]>,
+}
+
+impl Envelope {
+    /// This message's matching signature.
+    #[inline]
+    pub fn signature(&self) -> Signature {
+        Signature { src: self.src, tag: self.tag, comm: self.comm }
+    }
+
+    /// Does this envelope match a receive posted with the given (possibly
+    /// wildcard) source and tag on `comm`?
+    #[inline]
+    pub fn matches(&self, src: i32, tag: Tag, comm: CommId) -> bool {
+        self.comm == comm
+            && (src == crate::ANY_SOURCE || self.src == src as Rank)
+            && (tag == crate::ANY_TAG || self.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ANY_SOURCE, ANY_TAG, COMM_WORLD};
+
+    fn env(src: Rank, tag: Tag) -> Envelope {
+        Envelope {
+            src,
+            dst: 0,
+            tag,
+            comm: COMM_WORLD,
+            seq: 0,
+            piggyback: 0,
+            depart_vt: 0,
+            payload: Box::new([]),
+        }
+    }
+
+    #[test]
+    fn exact_match() {
+        assert!(env(3, 7).matches(3, 7, COMM_WORLD));
+        assert!(!env(3, 7).matches(2, 7, COMM_WORLD));
+        assert!(!env(3, 7).matches(3, 8, COMM_WORLD));
+        assert!(!env(3, 7).matches(3, 7, CommId(5)));
+    }
+
+    #[test]
+    fn wildcards() {
+        assert!(env(3, 7).matches(ANY_SOURCE, 7, COMM_WORLD));
+        assert!(env(3, 7).matches(3, ANY_TAG, COMM_WORLD));
+        assert!(env(3, 7).matches(ANY_SOURCE, ANY_TAG, COMM_WORLD));
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type shared by every substrate operation.
+
+use std::fmt;
+
+/// Errors returned by communication operations.
+///
+/// `Aborted` is the load-bearing variant: when a rank is killed by the fault
+/// injector (or any rank panics), the job is poisoned and every blocked or
+/// subsequently-issued operation on every rank returns `Aborted`, so that all
+/// threads unwind promptly. This models the paper's fail-stop fault model,
+/// where the whole job is restarted from the last committed recovery line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// The job was poisoned (a rank failed); unwind now.
+    Aborted,
+    /// A malformed argument (bad rank, negative count, unknown handle...).
+    InvalidArg(String),
+    /// Receive buffer/datatype cannot hold the matched message.
+    Truncated { expected: usize, got: usize },
+    /// Internal invariant violation; indicates a bug in the substrate.
+    Internal(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Aborted => write!(f, "job aborted (fail-stop failure injected)"),
+            MpiError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
+            MpiError::Truncated { expected, got } => {
+                write!(f, "message truncated: buffer holds {expected} bytes, message has {got}")
+            }
+            MpiError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Convenience alias used throughout the substrate.
+pub type Result<T> = std::result::Result<T, MpiError>;

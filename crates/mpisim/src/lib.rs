@@ -1,0 +1,106 @@
+//! # minimpi — an in-process message-passing substrate with MPI semantics
+//!
+//! This crate is the *substrate* of the C³ reproduction: it stands in for the
+//! native MPI library of the paper ("Implementation and Evaluation of a
+//! Scalable Application-level Checkpoint-Recovery Scheme for MPI Programs",
+//! SC 2004). Ranks are OS threads inside one process; each rank owns a mailbox
+//! and communicates through a shared [`network::Network`].
+//!
+//! What matters for the checkpointing protocol built on top is not the wire
+//! transport but MPI's *matching semantics*, which this crate reproduces
+//! faithfully:
+//!
+//! * point-to-point messages are matched by `(source, tag, communicator)`
+//!   with per-signature FIFO order, wildcard source/tag receives, and
+//!   **no FIFO guarantee across different signatures** (an optional
+//!   reordering model makes cross-signature reordering actually happen);
+//! * non-blocking communication with request objects, `test`/`wait`/
+//!   `wait_any`/`wait_some`/`wait_all` and posted-receive matching order;
+//! * derived datatypes (contiguous / vector / indexed / struct) with
+//!   hierarchical construction and pack/unpack of non-contiguous buffers;
+//! * collective operations (barrier, bcast, gather(v), scatter(v),
+//!   allgather, alltoall(v), reduce, allreduce, scan) that, like MPI's, do
+//!   **not** synchronize participants (other than barrier), and that carry a
+//!   small per-stream *piggyback* byte so a protocol layer can observe the
+//!   sender-side state of every logical communication stream — the hook the
+//!   paper's protocol layer needs (§3.2, §4.3);
+//! * a virtual-time network model (latency/bandwidth/per-message CPU cost)
+//!   with presets for the paper's evaluation platforms.
+//!
+//! The crate is deliberately independent of the checkpointing protocol: it
+//! knows nothing about epochs, recovery lines, or logging. The `c3` crate
+//! layers the paper's protocol on top of this API without modifying it, just
+//! as the paper's co-ordination layer wraps an unmodified MPI library.
+
+pub mod collective;
+pub mod ctx;
+pub mod datatype;
+pub mod envelope;
+pub mod error;
+pub mod mailbox;
+pub mod network;
+pub mod op;
+pub mod pod;
+pub mod request;
+pub mod world;
+
+pub use collective::{fold_into, CollPig};
+pub use ctx::RankCtx;
+pub use datatype::{
+    BasicType, Datatype, DatatypeHandle, TypeTable, DT_F32, DT_F64, DT_I32, DT_I64, DT_U64, DT_U8,
+};
+pub use envelope::{Envelope, Signature};
+pub use error::MpiError;
+pub use network::{ClusterModel, Network, ReorderModel};
+pub use op::{
+    apply_op, lookup_named_op, register_named_op, OpHandle, OpTable, ReduceOp, UserOpFn, OP_MAX,
+    OP_MIN, OP_PROD, OP_SUM,
+};
+pub use pod::{bytes_of, bytes_of_mut, copy_to_slice, vec_from_bytes, Pod};
+pub use request::{ReqId, Status};
+pub use world::{launch, JobError, JobHandle, JobSpec};
+
+/// A process index in the world communicator (`0..nranks`).
+pub type Rank = usize;
+
+/// A message tag. Non-negative in applications; negative values are reserved
+/// for wildcards and internal use.
+pub type Tag = i32;
+
+/// Wildcard source for receive operations (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+
+/// Wildcard tag for receive operations (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -2;
+
+/// One completed request of a `wait_some`/`wait_any` sweep:
+/// `(index into the request list, status, payload for receives)`.
+pub type Completion = (usize, Status, Option<Vec<u8>>);
+
+/// A communicator identifier. Identifiers with the high bit set are reserved
+/// for internal collective traffic; [`COMM_CTRL`] is reserved for a protocol
+/// layer's control messages.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CommId(pub u32);
+
+/// The world communicator containing every rank of the job.
+pub const COMM_WORLD: CommId = CommId(0);
+
+/// Communicator reserved for out-of-band control traffic of a protocol layer
+/// (the C³ co-ordination layer sends its `Checkpoint-Initiated` and recovery
+/// messages here). Application code must not use it.
+pub const COMM_CTRL: CommId = CommId(0x7fff_ffff);
+
+impl CommId {
+    /// The hidden communicator used for collective traffic of `self`.
+    #[inline]
+    pub fn collective_shadow(self) -> CommId {
+        CommId(self.0 | 0x8000_0000)
+    }
+
+    /// True if this id is one of the reserved internal communicators.
+    #[inline]
+    pub fn is_internal(self) -> bool {
+        self.0 & 0x8000_0000 != 0 || self == COMM_CTRL
+    }
+}

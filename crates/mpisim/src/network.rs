@@ -1,0 +1,341 @@
+//! The shared network: delivery, cluster timing models, reordering, and
+//! job poisoning (fail-stop propagation).
+
+use crate::envelope::Envelope;
+use crate::mailbox::Mailbox;
+use crate::Rank;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Virtual-time cost model of an interconnect, in the style of the paper's
+/// evaluation platforms (§6). Costs feed the per-rank virtual clocks, not
+/// wall-clock sleeps, so simulations stay fast while still exposing the
+/// platform-dependent *shape* of communication cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterModel {
+    /// Human-readable platform name (shows up in reports).
+    pub name: &'static str,
+    /// One-way message latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Bandwidth in bytes per microsecond (i.e. MB/s).
+    pub bytes_per_us: u64,
+    /// Per-message CPU cost at the sender in nanoseconds (injection
+    /// overhead).
+    pub send_overhead_ns: u64,
+}
+
+impl ClusterModel {
+    /// Lemieux (PSC): Alphaserver ES45 nodes, Quadrics interconnect.
+    pub fn lemieux() -> Self {
+        ClusterModel { name: "Lemieux", latency_ns: 5_000, bytes_per_us: 250, send_overhead_ns: 900 }
+    }
+
+    /// Velocity 2 (CTC): Pentium 4 Xeon nodes, Force10 Gigabit Ethernet.
+    pub fn velocity2() -> Self {
+        ClusterModel { name: "Velocity2", latency_ns: 60_000, bytes_per_us: 100, send_overhead_ns: 4_000 }
+    }
+
+    /// CMI (CTC): Pentium 3 nodes, Giganet switch.
+    pub fn cmi() -> Self {
+        ClusterModel { name: "CMI", latency_ns: 40_000, bytes_per_us: 100, send_overhead_ns: 3_000 }
+    }
+
+    /// An idealized zero-cost network (useful in unit tests).
+    pub fn ideal() -> Self {
+        ClusterModel { name: "ideal", latency_ns: 0, bytes_per_us: u64::MAX, send_overhead_ns: 0 }
+    }
+
+    /// Virtual transfer time for a payload of `bytes`.
+    #[inline]
+    pub fn transfer_ns(&self, bytes: usize) -> u64 {
+        if self.bytes_per_us == u64::MAX {
+            return 0;
+        }
+        self.latency_ns + (bytes as u64 * 1_000) / self.bytes_per_us
+    }
+}
+
+/// Cross-signature message reordering model.
+///
+/// MPI guarantees FIFO only per signature; real networks and MPI libraries
+/// deliver messages with *different* signatures out of order. The reordering
+/// model makes that happen deterministically (seeded), while never violating
+/// per-signature FIFO: an envelope is only held back if no held envelope
+/// shares its signature, and held envelopes are flushed before any
+/// same-signature successor is delivered.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReorderModel {
+    /// Deliver in send order.
+    None,
+    /// Hold back each envelope with probability `hold_permille`/1000, up to
+    /// `max_held` concurrently held per destination; each later delivery
+    /// flushes held envelopes with probability 1/2 each.
+    Random {
+        /// Hold-back probability in permille (0..=1000).
+        hold_permille: u32,
+        /// Maximum number of envelopes held per destination.
+        max_held: usize,
+    },
+}
+
+#[derive(Default)]
+struct ReorderState {
+    held: Vec<Envelope>,
+    rng: Option<SmallRng>,
+}
+
+/// The shared fabric connecting all ranks of a job.
+pub struct Network {
+    mailboxes: Vec<Mailbox>,
+    cluster: ClusterModel,
+    reorder: ReorderModel,
+    reorder_state: Vec<Mutex<ReorderState>>,
+    poisoned: AtomicBool,
+    poison_reason: Mutex<Option<String>>,
+    /// Total application messages injected (diagnostics).
+    pub msgs_sent: AtomicU64,
+    /// Total application bytes injected (diagnostics).
+    pub bytes_sent: AtomicU64,
+}
+
+impl Network {
+    /// Create a network for `nranks` ranks.
+    pub fn new(nranks: usize, cluster: ClusterModel, reorder: ReorderModel, seed: u64) -> Self {
+        let reorder_state = (0..nranks)
+            .map(|dst| {
+                Mutex::new(ReorderState {
+                    held: Vec::new(),
+                    rng: match reorder {
+                        ReorderModel::None => None,
+                        ReorderModel::Random { .. } => {
+                            Some(SmallRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(dst as u64 + 1))))
+                        }
+                    },
+                })
+            })
+            .collect();
+        Network {
+            mailboxes: (0..nranks).map(|_| Mailbox::new()).collect(),
+            cluster,
+            reorder,
+            reorder_state,
+            poisoned: AtomicBool::new(false),
+            poison_reason: Mutex::new(None),
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// The cluster timing model.
+    pub fn cluster(&self) -> &ClusterModel {
+        &self.cluster
+    }
+
+    /// The mailbox of `rank`.
+    pub fn mailbox(&self, rank: Rank) -> &Mailbox {
+        &self.mailboxes[rank]
+    }
+
+    /// Inject an envelope. Applies the reordering model, then delivers to the
+    /// destination mailbox.
+    pub fn send(&self, env: Envelope) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        let dst = env.dst;
+        match self.reorder {
+            ReorderModel::None => self.mailboxes[dst].deliver(env),
+            ReorderModel::Random { hold_permille, max_held } => {
+                // Deliveries happen while the per-destination reorder lock
+                // is held: releasing first would let a concurrent sender
+                // overtake an envelope already removed from `held` but not
+                // yet in the mailbox, breaking per-signature FIFO.
+                let mut st = self.reorder_state[dst].lock();
+                let sig = env.signature();
+                // Per-signature FIFO: flush any held envelope with the
+                // same signature before this one may be delivered or
+                // held.
+                let mut i = 0;
+                while i < st.held.len() {
+                    if st.held[i].signature() == sig {
+                        let e = st.held.remove(i);
+                        self.mailboxes[dst].deliver(e);
+                    } else {
+                        i += 1;
+                    }
+                }
+                let hold = {
+                    let room = st.held.len() < max_held;
+                    let rng = st.rng.as_mut().expect("rng present for Random model");
+                    room && rng.gen_range(0..1000) < hold_permille
+                };
+                if hold {
+                    st.held.push(env);
+                } else {
+                    self.mailboxes[dst].deliver(env);
+                    // Flush each held envelope with probability 1/2.
+                    let mut i = 0;
+                    while i < st.held.len() {
+                        let flush = st.rng.as_mut().unwrap().gen_bool(0.5);
+                        if flush {
+                            let e = st.held.remove(i);
+                            self.mailboxes[dst].deliver(e);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush envelopes held by the reordering model for `dst`. Called by a
+    /// rank's blocked wait loops so that held messages are eventually
+    /// delivered even if no further traffic arrives (models "in flight, but
+    /// not lost").
+    pub fn nudge(&self, dst: Rank) {
+        if matches!(self.reorder, ReorderModel::None) {
+            return;
+        }
+        let mut st = self.reorder_state[dst].lock();
+        for e in st.held.drain(..) {
+            self.mailboxes[dst].deliver(e);
+        }
+    }
+
+    /// Flush every held envelope (used at teardown / quiescence points so no
+    /// message is lost to the reorder buffer).
+    pub fn flush_reorder(&self) {
+        for (dst, st) in self.reorder_state.iter().enumerate() {
+            let mut st = st.lock();
+            for e in st.held.drain(..) {
+                self.mailboxes[dst].deliver(e);
+            }
+        }
+    }
+
+    /// Poison the job: every blocked/future operation returns `Aborted`.
+    /// Models a fail-stop hardware failure (§1 footnote 1).
+    pub fn poison(&self, reason: &str) {
+        if !self.poisoned.swap(true, Ordering::SeqCst) {
+            *self.poison_reason.lock() = Some(reason.to_string());
+        }
+        for mb in &self.mailboxes {
+            mb.interrupt();
+        }
+    }
+
+    /// Has the job been poisoned?
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Why the job was poisoned, if it was.
+    pub fn poison_reason(&self) -> Option<String> {
+        self.poison_reason.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{COMM_WORLD, Tag};
+
+    fn env(src: Rank, dst: Rank, tag: Tag, seq: u64) -> Envelope {
+        Envelope {
+            src,
+            dst,
+            tag,
+            comm: COMM_WORLD,
+            seq,
+            piggyback: 0,
+            depart_vt: 0,
+            payload: Box::new([]),
+        }
+    }
+
+    #[test]
+    fn plain_delivery() {
+        let net = Network::new(2, ClusterModel::ideal(), ReorderModel::None, 1);
+        net.send(env(0, 1, 3, 0));
+        assert_eq!(net.mailbox(1).len(), 1);
+        assert_eq!(net.mailbox(0).len(), 0);
+    }
+
+    #[test]
+    fn reorder_preserves_per_signature_fifo() {
+        let net = Network::new(
+            2,
+            ClusterModel::ideal(),
+            ReorderModel::Random { hold_permille: 500, max_held: 8 },
+            42,
+        );
+        // Send 200 messages on the SAME signature; they must arrive in order.
+        for seq in 0..200 {
+            net.send(env(0, 1, 7, seq));
+        }
+        net.flush_reorder();
+        let mut last = None;
+        while let Some(e) = net.mailbox(1).try_claim(0, 7, COMM_WORLD) {
+            if let Some(prev) = last {
+                assert!(e.seq > prev, "per-signature FIFO violated: {} after {}", e.seq, prev);
+            }
+            last = Some(e.seq);
+        }
+        assert_eq!(last, Some(199));
+    }
+
+    #[test]
+    fn reorder_actually_reorders_across_signatures() {
+        let net = Network::new(
+            2,
+            ClusterModel::ideal(),
+            ReorderModel::Random { hold_permille: 700, max_held: 8 },
+            7,
+        );
+        // Alternate two signatures; with high hold probability some tag-1
+        // message should arrive after a later-sent tag-2 message.
+        for i in 0..100u64 {
+            net.send(env(0, 1, (i % 2) as Tag, i / 2));
+        }
+        net.flush_reorder();
+        let mut arrivals = Vec::new();
+        net.mailbox(1).with_queue(|q| {
+            for e in q.iter() {
+                arrivals.push((e.tag, e.seq));
+            }
+        });
+        assert_eq!(arrivals.len(), 100);
+        // Detect at least one cross-signature inversion vs. global send
+        // order (tag alternation means global order is (0,k),(1,k),(0,k+1)..).
+        let global = |t: Tag, s: u64| s * 2 + t as u64;
+        let inverted = arrivals.windows(2).any(|w| global(w[0].0, w[0].1) > global(w[1].0, w[1].1));
+        assert!(inverted, "expected at least one cross-signature reorder");
+    }
+
+    #[test]
+    fn poison_is_sticky_and_carries_reason() {
+        let net = Network::new(1, ClusterModel::ideal(), ReorderModel::None, 1);
+        assert!(!net.is_poisoned());
+        net.poison("rank 0 killed by fault injector");
+        net.poison("second reason ignored");
+        assert!(net.is_poisoned());
+        assert_eq!(net.poison_reason().unwrap(), "rank 0 killed by fault injector");
+    }
+
+    #[test]
+    fn cluster_transfer_costs() {
+        let lx = ClusterModel::lemieux();
+        assert_eq!(lx.transfer_ns(0), 5_000);
+        // 250 MB/s = 250 bytes/us: 25_000 bytes take 100 us.
+        assert_eq!(lx.transfer_ns(25_000), 5_000 + 100_000);
+        assert_eq!(ClusterModel::ideal().transfer_ns(1 << 20), 0);
+    }
+}

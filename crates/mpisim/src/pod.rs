@@ -1,0 +1,123 @@
+//! Plain-old-data conversions between typed slices and byte buffers.
+//!
+//! Message payloads travel as raw bytes (the paper's C³ "saves all data as
+//! binary"); applications work with typed slices. The conversions here are the
+//! only place in the substrate that uses `unsafe`, and they are restricted to
+//! types for which every bit pattern is valid and which contain no padding.
+
+/// Marker trait for types that can be safely reinterpreted as raw bytes.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, contain no padding bytes, and accept every
+/// bit pattern as a valid value.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {
+    /// Size of one element in bytes.
+    const SIZE: usize = std::mem::size_of::<Self>();
+}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl Pod for usize {}
+
+/// View a typed slice as bytes (zero-copy).
+#[inline]
+pub fn bytes_of<T: Pod>(s: &[T]) -> &[u8] {
+    // SAFETY: T is Pod (no padding, all bit patterns valid), and u8 has
+    // alignment 1, so any T-aligned region is valid as a byte slice.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+}
+
+/// View a typed mutable slice as mutable bytes (zero-copy) — the in-place
+/// receive buffer for derived-datatype unpacking.
+#[inline]
+pub fn bytes_of_mut<T: Pod>(s: &mut [T]) -> &mut [u8] {
+    let len = std::mem::size_of_val(s);
+    // SAFETY: T is Pod (no padding, all bit patterns valid), u8 has
+    // alignment 1, and the borrow is unique.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<u8>(), len) }
+}
+
+/// Copy a byte buffer into a freshly allocated typed vector.
+///
+/// Panics if `b.len()` is not a multiple of `T::SIZE`.
+pub fn vec_from_bytes<T: Pod>(b: &[u8]) -> Vec<T> {
+    assert!(
+        b.len().is_multiple_of(T::SIZE),
+        "byte length {} not a multiple of element size {}",
+        b.len(),
+        T::SIZE
+    );
+    let n = b.len() / T::SIZE;
+    let mut v = Vec::<T>::with_capacity(n);
+    // SAFETY: the destination has capacity for n elements; the source holds
+    // n*SIZE bytes; T is Pod so any bit pattern is valid; regions are disjoint.
+    unsafe {
+        std::ptr::copy_nonoverlapping(b.as_ptr(), v.as_mut_ptr().cast::<u8>(), b.len());
+        v.set_len(n);
+    }
+    v
+}
+
+/// Copy a byte buffer into an existing typed slice.
+///
+/// Panics if sizes disagree.
+pub fn copy_to_slice<T: Pod>(b: &[u8], out: &mut [T]) {
+    assert_eq!(
+        b.len(),
+        std::mem::size_of_val(out),
+        "byte length does not match destination slice size"
+    );
+    // SAFETY: lengths verified equal; T is Pod; regions disjoint (out is a
+    // unique mutable borrow, b is shared).
+    unsafe {
+        std::ptr::copy_nonoverlapping(b.as_ptr(), out.as_mut_ptr().cast::<u8>(), b.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let xs = [1.5f64, -2.25, 0.0, f64::MAX];
+        let b = bytes_of(&xs);
+        assert_eq!(b.len(), 32);
+        let back: Vec<f64> = vec_from_bytes(b);
+        assert_eq!(&xs[..], &back[..]);
+    }
+
+    #[test]
+    fn roundtrip_i32_into_slice() {
+        let xs = [7i32, -9, 123456];
+        let b = bytes_of(&xs).to_vec();
+        let mut out = [0i32; 3];
+        copy_to_slice(&b, &mut out);
+        assert_eq!(xs, out);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_length_panics() {
+        let b = [0u8; 7];
+        let _: Vec<u32> = vec_from_bytes(&b);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let xs: [u64; 0] = [];
+        let b = bytes_of(&xs);
+        assert!(b.is_empty());
+        let back: Vec<u64> = vec_from_bytes(b);
+        assert!(back.is_empty());
+    }
+}

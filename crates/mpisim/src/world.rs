@@ -1,0 +1,420 @@
+//! Job launch: one OS thread per rank, fail-stop propagation, result
+//! collection.
+
+use crate::ctx::RankCtx;
+use crate::error::MpiError;
+use crate::network::{ClusterModel, Network, ReorderModel};
+use crate::Rank;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Everything needed to launch a job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Number of ranks (threads).
+    pub nranks: usize,
+    /// Interconnect timing model (virtual time only).
+    pub cluster: ClusterModel,
+    /// Cross-signature reordering model.
+    pub reorder: ReorderModel,
+    /// Seed for the deterministic reordering RNG.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A job on the ideal network with no reordering.
+    pub fn new(nranks: usize) -> Self {
+        JobSpec { nranks, cluster: ClusterModel::ideal(), reorder: ReorderModel::None, seed: 1 }
+    }
+
+    /// Set the cluster model.
+    pub fn cluster(mut self, c: ClusterModel) -> Self {
+        self.cluster = c;
+        self
+    }
+
+    /// Set the reordering model.
+    pub fn reorder(mut self, r: ReorderModel) -> Self {
+        self.reorder = r;
+        self
+    }
+
+    /// Set the reorder seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+/// Why a job did not complete.
+#[derive(Debug, Clone)]
+pub enum JobError {
+    /// The job was poisoned (fail-stop failure or deliberate abort).
+    Aborted {
+        /// Human-readable failure description.
+        reason: String,
+    },
+    /// A rank returned a non-abort error.
+    Rank {
+        /// The failing rank.
+        rank: Rank,
+        /// Its error.
+        err: MpiError,
+    },
+    /// A rank panicked.
+    Panicked {
+        /// The panicking rank.
+        rank: Rank,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Aborted { reason } => write!(f, "job aborted: {reason}"),
+            JobError::Rank { rank, err } => write!(f, "rank {rank} failed: {err}"),
+            JobError::Panicked { rank } => write!(f, "rank {rank} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A completed job's results and aggregate statistics.
+#[derive(Debug)]
+pub struct JobHandle<T> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank final virtual clocks (ns).
+    pub vtimes: Vec<u64>,
+    /// Total messages injected into the network.
+    pub msgs_sent: u64,
+    /// Total bytes injected into the network.
+    pub bytes_sent: u64,
+}
+
+impl<T> JobHandle<T> {
+    /// The job's virtual makespan: the maximum rank virtual clock.
+    pub fn makespan_ns(&self) -> u64 {
+        self.vtimes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Run `f` on every rank of a fresh job and collect the results.
+///
+/// `f` is invoked once per rank with that rank's [`RankCtx`]. If any rank
+/// fails (returns `Err` or panics) the job is poisoned so all other ranks
+/// unwind promptly, and an error describing the *first cause* is returned.
+pub fn launch<T, F>(spec: &JobSpec, f: F) -> Result<JobHandle<T>, JobError>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> Result<T, MpiError> + Sync,
+{
+    assert!(spec.nranks > 0, "job needs at least one rank");
+    let net = Arc::new(Network::new(spec.nranks, spec.cluster, spec.reorder, spec.seed));
+    let f = &f;
+
+    enum Outcome<T> {
+        Ok(T, u64),
+        Err(MpiError),
+        Panic,
+    }
+
+    let outcomes: Vec<Outcome<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..spec.nranks)
+            .map(|rank| {
+                let net = Arc::clone(&net);
+                s.spawn(move || {
+                    let mut ctx = RankCtx::new(rank, net.clone());
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                        Ok(Ok(v)) => Outcome::Ok(v, ctx.vtime()),
+                        Ok(Err(e)) => {
+                            if e != MpiError::Aborted {
+                                net.poison(&format!("rank {rank} failed: {e}"));
+                            }
+                            Outcome::Err(e)
+                        }
+                        Err(_) => {
+                            net.poison(&format!("rank {rank} panicked"));
+                            Outcome::Panic
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread joins")).collect()
+    });
+
+    // Classify: panics dominate, then non-abort errors, then abort.
+    for (rank, o) in outcomes.iter().enumerate() {
+        if matches!(o, Outcome::Panic) {
+            return Err(JobError::Panicked { rank });
+        }
+    }
+    for (rank, o) in outcomes.iter().enumerate() {
+        if let Outcome::Err(e) = o {
+            if *e != MpiError::Aborted {
+                return Err(JobError::Rank { rank, err: e.clone() });
+            }
+        }
+    }
+    if net.is_poisoned() {
+        return Err(JobError::Aborted {
+            reason: net.poison_reason().unwrap_or_else(|| "unknown".into()),
+        });
+    }
+    let mut results = Vec::with_capacity(spec.nranks);
+    let mut vtimes = Vec::with_capacity(spec.nranks);
+    for o in outcomes {
+        match o {
+            Outcome::Ok(v, vt) => {
+                results.push(v);
+                vtimes.push(vt);
+            }
+            _ => unreachable!("error cases handled above"),
+        }
+    }
+    Ok(JobHandle {
+        results,
+        vtimes,
+        msgs_sent: net.msgs_sent.load(Ordering::Relaxed),
+        bytes_sent: net.bytes_sent.load(Ordering::Relaxed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::ReduceOp;
+    use crate::pod::{bytes_of, vec_from_bytes};
+    use crate::{BasicType, ANY_SOURCE, ANY_TAG, COMM_WORLD};
+
+    #[test]
+    fn ring_pass() {
+        let spec = JobSpec::new(4);
+        let out = launch(&spec, |ctx| {
+            let me = ctx.rank();
+            let n = ctx.nranks();
+            let next = (me + 1) % n;
+            let prev = (me + n - 1) % n;
+            ctx.send(next, 1, &[me as u64])?;
+            let (vals, st) = ctx.recv::<u64>(prev as i32, 1)?;
+            assert_eq!(st.src, prev);
+            Ok(vals[0])
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![3, 0, 1, 2]);
+        assert_eq!(out.msgs_sent, 4);
+    }
+
+    #[test]
+    fn wildcard_receive_collects_all() {
+        let out = launch(&JobSpec::new(4), |ctx| {
+            if ctx.rank() == 0 {
+                let mut sum = 0u64;
+                for _ in 0..3 {
+                    let (vals, _) = ctx.recv::<u64>(ANY_SOURCE, ANY_TAG)?;
+                    sum += vals[0];
+                }
+                Ok(sum)
+            } else {
+                ctx.send(0, ctx.rank() as i32, &[ctx.rank() as u64 * 10])?;
+                Ok(0)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[0], 60);
+    }
+
+    #[test]
+    fn nonblocking_isend_irecv_waitall() {
+        let out = launch(&JobSpec::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                let r1 = ctx.irecv(1, 1)?;
+                let r2 = ctx.irecv(1, 2)?;
+                let done = ctx.wait_all(&[r1, r2])?;
+                let a: Vec<f64> = vec_from_bytes(done[0].1.as_ref().unwrap());
+                let b: Vec<f64> = vec_from_bytes(done[1].1.as_ref().unwrap());
+                Ok(a[0] + b[0])
+            } else {
+                // Send in reverse tag order; matching is by signature.
+                let s2 = ctx.isend(0, 2, &[2.5f64])?;
+                let s1 = ctx.isend(0, 1, &[1.25f64])?;
+                ctx.wait(s1)?;
+                ctx.wait(s2)?;
+                Ok(0.0)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[0], 3.75);
+    }
+
+    #[test]
+    fn collectives_end_to_end() {
+        let out = launch(&JobSpec::new(5), |ctx| {
+            let me = ctx.rank() as i64;
+            // allreduce sum
+            let (res, pigs) =
+                ctx.allreduce(COMM_WORLD, bytes_of(&[me]), BasicType::I64, &ReduceOp::Sum, 7)?;
+            let sum: Vec<i64> = vec_from_bytes(&res);
+            assert_eq!(sum[0], 1 + 2 + 3 + 4);
+            assert_eq!(pigs.len(), 5);
+            assert!(pigs.iter().all(|p| p.pig == 7));
+            // scan
+            let (res, pigs) =
+                ctx.scan(COMM_WORLD, bytes_of(&[me]), BasicType::I64, &ReduceOp::Sum, 3)?;
+            let pre: Vec<i64> = vec_from_bytes(&res);
+            assert_eq!(pre[0], (0..=me).sum::<i64>());
+            assert_eq!(pigs.len(), ctx.rank() + 1);
+            // bcast
+            let mut data = if ctx.rank() == 2 { vec![9u8, 9, 9] } else { Vec::new() };
+            let rp = ctx.bcast(COMM_WORLD, 2, &mut data, ctx.rank() as u8)?;
+            assert_eq!(rp, 2);
+            assert_eq!(data, vec![9, 9, 9]);
+            // gather (variable sizes)
+            let mine = vec![ctx.rank() as u8; ctx.rank() + 1];
+            let g = ctx.gather(COMM_WORLD, 1, &mine, 0)?;
+            if ctx.rank() == 1 {
+                let g = g.unwrap();
+                assert_eq!(g.len(), 5);
+                for (cp, d) in &g {
+                    assert_eq!(d.len(), cp.src + 1);
+                }
+            } else {
+                assert!(g.is_none());
+            }
+            // alltoall
+            let parts: Vec<Vec<u8>> = (0..5).map(|d| vec![(ctx.rank() * 10 + d) as u8]).collect();
+            let recvd = ctx.alltoall(COMM_WORLD, &parts, 0)?;
+            for (cp, d) in &recvd {
+                assert_eq!(d[0] as usize, cp.src * 10 + ctx.rank());
+            }
+            // barrier
+            let pigs = ctx.barrier(COMM_WORLD, 1)?;
+            assert_eq!(pigs.len(), 5);
+            // reduce
+            let r = ctx.reduce(COMM_WORLD, 0, bytes_of(&[me as f64]), BasicType::F64, &ReduceOp::Max, 0)?;
+            if ctx.rank() == 0 {
+                let v: Vec<f64> = vec_from_bytes(&r.unwrap());
+                assert_eq!(v[0], 4.0);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.results.len(), 5);
+    }
+
+    #[test]
+    fn allgather_returns_everyones_data() {
+        launch(&JobSpec::new(3), |ctx| {
+            let mine = vec![ctx.rank() as u8 + 100];
+            let all = ctx.allgather(COMM_WORLD, &mine, ctx.rank() as u8)?;
+            assert_eq!(all.len(), 3);
+            for (cp, d) in &all {
+                assert_eq!(d[0] as usize, cp.src + 100);
+                assert_eq!(cp.pig as usize, cp.src);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fail_stop_aborts_everyone() {
+        let err = launch(&JobSpec::new(3), |ctx| {
+            if ctx.rank() == 1 {
+                ctx.fail_stop("injected fault at rank 1");
+                return Err(MpiError::Aborted);
+            }
+            // Other ranks block forever on a message that never comes; the
+            // poison must wake them.
+            let _ = ctx.recv::<u64>(ANY_SOURCE, ANY_TAG)?;
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            JobError::Aborted { reason } => assert!(reason.contains("rank 1")),
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_rank_reported() {
+        let err = launch(&JobSpec::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                panic!("boom");
+            }
+            let _ = ctx.recv::<u64>(ANY_SOURCE, ANY_TAG)?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, JobError::Panicked { rank: 0 }));
+    }
+
+    #[test]
+    fn wait_any_and_some() {
+        launch(&JobSpec::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                let r1 = ctx.irecv(1, 1)?;
+                let r2 = ctx.irecv(1, 2)?;
+                let (idx, st, payload) = ctx.wait_any(&[r1, r2])?;
+                assert!(idx < 2);
+                assert_eq!(st.src, 1);
+                assert!(payload.is_some());
+                let rest = if idx == 0 { r2 } else { r1 };
+                let done = ctx.wait_some(&[rest])?;
+                assert_eq!(done.len(), 1);
+            } else {
+                ctx.send(0, 1, &[1u8])?;
+                ctx.send(0, 2, &[2u8])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn virtual_time_advances_with_cluster_model() {
+        let spec = JobSpec::new(2).cluster(ClusterModel::lemieux());
+        let out = launch(&spec, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, &[0u8; 25_000])?;
+            } else {
+                ctx.recv::<u8>(0, 0)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        // Receiver's clock includes latency + transfer time.
+        assert!(out.vtimes[1] >= 105_000, "vtime {} too small", out.vtimes[1]);
+        assert!(out.makespan_ns() >= 105_000);
+    }
+
+    #[test]
+    fn reordering_job_still_correct_per_signature() {
+        let spec = JobSpec::new(2)
+            .reorder(ReorderModel::Random { hold_permille: 400, max_held: 4 })
+            .seed(99);
+        let out = launch(&spec, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..50u64 {
+                    ctx.send(1, 3, &[i])?;
+                }
+                Ok(0)
+            } else {
+                let mut prev = None;
+                for _ in 0..50 {
+                    let (v, _) = ctx.recv::<u64>(0, 3)?;
+                    if let Some(p) = prev {
+                        assert!(v[0] > p);
+                    }
+                    prev = Some(v[0]);
+                }
+                Ok(prev.unwrap())
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[1], 49);
+    }
+}

@@ -1,0 +1,474 @@
+//! SMG — a PCG solver with a semicoarsening-multigrid preconditioner (the
+//! SMG2000 skeleton from the ASCI Purple benchmarks).
+//!
+//! A 1D diffusion system distributed in block rows: the outer solver is
+//! preconditioned conjugate gradient (`hypre_PCGSolve`) and the
+//! preconditioner is one multigrid V-cycle per application
+//! (`hypre_SMGSolve`) with weighted-Jacobi smoothing, halo exchanges at
+//! every level, and heavy smoothing on the coarsest level.
+//!
+//! The paper places **eight** checkpoint locations in SMG2000 (§6.3): at the
+//! top of the `while i` loop in `hypre_PCGSolve`, at the top of the `for i`
+//! loop in `hypre_SMGSolve`, and five more throughout `main` — "a mixture of
+//! locations both inside and outside main computation loops". We mirror
+//! that: the saved state carries a phase marker *and*, for the in-V-cycle
+//! location, the V-cycle's own descent progress — the moral equivalent of
+//! the C³ precompiler saving the execution context so recovery resumes at
+//! the pragma, not at some earlier loop head.
+
+use crate::backend::{Comm, Op};
+use crate::grid::{apply_helmholtz, gather_solve_bcast, h2_of, jacobi, prolong_add, restrict_fw};
+use mpisim::MpiError;
+use statesave::codec::{CodecError, Decoder, Encoder};
+
+/// SMG parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SmgConfig {
+    /// log2 of the fine-grid unknown count (grid size `2^k`, distributed).
+    pub log2_n: u32,
+    /// PCG iterations.
+    pub iters: u64,
+    /// Jacobi sweeps per level per V-cycle half.
+    pub smooth: usize,
+}
+
+impl SmgConfig {
+    /// Class presets.
+    pub fn class(c: crate::Class) -> Self {
+        match c {
+            crate::Class::S => SmgConfig { log2_n: 8, iters: 4, smooth: 2 },
+            crate::Class::W => SmgConfig { log2_n: 11, iters: 8, smooth: 2 },
+            crate::Class::A => SmgConfig { log2_n: 14, iters: 12, smooth: 2 },
+        }
+    }
+}
+
+fn conv(e: CodecError) -> MpiError {
+    MpiError::Internal(e.to_string())
+}
+
+/// Where in `main` execution stands — saved with every checkpoint so every
+/// pragma location is a legitimate resume point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Before problem setup (pragma in `main`).
+    PreSetup,
+    /// After setup, before the solve (two pragmas in `main`).
+    PreSolve,
+    /// Inside `hypre_PCGSolve` at iteration `iter`, top of the loop.
+    Solve,
+    /// Inside the preconditioner V-cycle of iteration `iter`
+    /// (`vcycle` carries the descent progress).
+    SolveInVcycle,
+    /// After the solve (two pragmas in `main`).
+    PostSolve,
+}
+
+impl Phase {
+    fn code(self) -> u8 {
+        match self {
+            Phase::PreSetup => 0,
+            Phase::PreSolve => 1,
+            Phase::Solve => 2,
+            Phase::SolveInVcycle => 3,
+            Phase::PostSolve => 4,
+        }
+    }
+    fn from_code(c: u8) -> Result<Self, MpiError> {
+        Ok(match c {
+            0 => Phase::PreSetup,
+            1 => Phase::PreSolve,
+            2 => Phase::Solve,
+            3 => Phase::SolveInVcycle,
+            4 => Phase::PostSolve,
+            other => return Err(MpiError::Internal(format!("bad SMG phase {other}"))),
+        })
+    }
+}
+
+/// Descent progress of a V-cycle, saved when a checkpoint is taken at the
+/// in-V-cycle pragma (top of the `hypre_SMGSolve` descent loop).
+#[derive(Clone, Debug, Default)]
+struct VcycleProgress {
+    /// Next level to process.
+    lvl: usize,
+    /// The RHS/residual handed to level `lvl`.
+    cur: Vec<f64>,
+    /// Per-finished-level residuals (for post-smoothing on ascent).
+    rs: Vec<Vec<f64>>,
+    /// Per-finished-level corrections so far.
+    us: Vec<Vec<f64>>,
+}
+
+impl VcycleProgress {
+    fn start(r: &[f64]) -> Self {
+        VcycleProgress { lvl: 0, cur: r.to_vec(), rs: Vec::new(), us: Vec::new() }
+    }
+    fn save(&self, e: &mut Encoder) {
+        e.usize(self.lvl);
+        e.f64_slice(&self.cur);
+        e.usize(self.rs.len());
+        for v in &self.rs {
+            e.f64_slice(v);
+        }
+        e.usize(self.us.len());
+        for v in &self.us {
+            e.f64_slice(v);
+        }
+    }
+    fn load(d: &mut Decoder) -> Result<Self, MpiError> {
+        let lvl = d.usize().map_err(conv)?;
+        let cur = d.f64_vec().map_err(conv)?;
+        let nr = d.usize().map_err(conv)?;
+        let mut rs = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            rs.push(d.f64_vec().map_err(conv)?);
+        }
+        let nu = d.usize().map_err(conv)?;
+        let mut us = Vec::with_capacity(nu);
+        for _ in 0..nu {
+            us.push(d.f64_vec().map_err(conv)?);
+        }
+        Ok(VcycleProgress { lvl, cur, rs, us })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SmgState {
+    phase: Phase,
+    iter: u64,
+    x: Vec<f64>,
+    r: Vec<f64>,
+    pdir: Vec<f64>,
+    rho: f64,
+    rhs: Vec<f64>,
+    /// Present only in [`Phase::SolveInVcycle`].
+    vprog: Option<VcycleProgress>,
+}
+
+impl SmgState {
+    fn fresh() -> Self {
+        SmgState {
+            phase: Phase::PreSetup,
+            iter: 0,
+            x: Vec::new(),
+            r: Vec::new(),
+            pdir: Vec::new(),
+            rho: 0.0,
+            rhs: Vec::new(),
+            vprog: None,
+        }
+    }
+    fn save(&self, e: &mut Encoder) {
+        e.u8(self.phase.code());
+        e.u64(self.iter);
+        e.f64_slice(&self.x);
+        e.f64_slice(&self.r);
+        e.f64_slice(&self.pdir);
+        e.f64(self.rho);
+        e.f64_slice(&self.rhs);
+        e.bool(self.vprog.is_some());
+        if let Some(v) = &self.vprog {
+            v.save(e);
+        }
+    }
+    fn load(b: &[u8]) -> Result<Self, MpiError> {
+        let mut d = Decoder::new(b);
+        let phase = Phase::from_code(d.u8().map_err(conv)?)?;
+        let iter = d.u64().map_err(conv)?;
+        let x = d.f64_vec().map_err(conv)?;
+        let r = d.f64_vec().map_err(conv)?;
+        let pdir = d.f64_vec().map_err(conv)?;
+        let rho = d.f64().map_err(conv)?;
+        let rhs = d.f64_vec().map_err(conv)?;
+        let has_v = d.bool().map_err(conv)?;
+        let vprog = if has_v { Some(VcycleProgress::load(&mut d)?) } else { None };
+        Ok(SmgState { phase, iter, x, r, pdir, rho, rhs, vprog })
+    }
+}
+
+/// The level ladder for an `n_global` fine grid: halve down to a fixed,
+/// rank-count-independent coarse floor so the preconditioner (and hence the
+/// numerical result) is identical for every `p`. The caller asserts
+/// `p <= COARSEST / 2`, which keeps every rank at >= 2 points per level.
+const COARSEST: usize = 32;
+
+fn level_sizes(n_global: usize) -> Vec<usize> {
+    let mut sizes = vec![n_global];
+    while sizes.last().unwrap() / 2 >= COARSEST && sizes.last().unwrap() % 2 == 0 {
+        let s = sizes.last().unwrap() / 2;
+        sizes.push(s);
+    }
+    sizes
+}
+
+/// One V-cycle of the multigrid preconditioner, resumable: `start` is either
+/// [`VcycleProgress::start`] or the progress restored from a checkpoint.
+/// `pragma` fires at the top of every descent level (the paper's
+/// `hypre_SMGSolve` pragma) with the progress it would need to save.
+fn vcycle<C: Comm>(
+    comm: &mut C,
+    n_global: usize,
+    smooth: usize,
+    start: VcycleProgress,
+    pragma: &mut dyn FnMut(&mut C, &VcycleProgress) -> Result<(), MpiError>,
+) -> Result<Vec<f64>, MpiError> {
+    let sizes = level_sizes(n_global);
+    let levels = sizes.len();
+
+    // Descend: smooth, compute residual, restrict.
+    let mut prog = start;
+    while prog.lvl < levels {
+        pragma(comm, &prog)?;
+        let lvl = prog.lvl;
+        let nl = sizes[lvl];
+        if lvl + 1 < levels {
+            let mut u = vec![0.0; prog.cur.len()];
+            jacobi(comm, &mut u, &prog.cur, h2_of(nl), smooth, 300 + 20 * lvl as i32)?;
+            let au = apply_helmholtz(comm, &u, h2_of(nl), 400 + 20 * lvl as i32)?;
+            let res: Vec<f64> = prog.cur.iter().zip(&au).map(|(f, a)| f - a).collect();
+            let coarse = restrict_fw(comm, &res, 500 + 20 * lvl as i32)?;
+            let fine_rhs = std::mem::replace(&mut prog.cur, coarse);
+            prog.rs.push(fine_rhs);
+            prog.us.push(u);
+        } else {
+            // Coarsest level: exact gather-solve-broadcast (hypre-style),
+            // identical for every rank count.
+            let u = gather_solve_bcast(comm, &prog.cur, nl, h2_of(nl))?;
+            prog.rs.push(std::mem::take(&mut prog.cur));
+            prog.us.push(u);
+        }
+        prog.lvl += 1;
+    }
+
+    // Ascend: prolong and post-smooth (no pragmas; the paper's SMG pragma is
+    // in the descent loop).
+    let mut correction = prog.us.pop().expect("V-cycle produced no levels");
+    prog.rs.pop();
+    for lvl in (0..levels - 1).rev() {
+        let mut u = prog.us.pop().expect("missing level correction");
+        let f = prog.rs.pop().expect("missing level RHS");
+        prolong_add(comm, &correction, &mut u, 700 + 20 * lvl as i32)?;
+        jacobi(comm, &mut u, &f, h2_of(sizes[lvl]), smooth, 800 + 20 * lvl as i32)?;
+        correction = u;
+    }
+    Ok(correction)
+}
+
+/// Finish one PCG iteration given the preconditioned residual `z`.
+fn finish_iteration<C: Comm>(comm: &mut C, st: &mut SmgState, z: Vec<f64>) -> Result<(), MpiError> {
+    let local_rz: f64 = st.r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let rho_new = comm.allreduce_f64(local_rz, Op::Sum)?;
+    let beta = rho_new / st.rho;
+    for i in 0..st.pdir.len() {
+        st.pdir[i] = z[i] + beta * st.pdir[i];
+    }
+    st.rho = rho_new;
+    st.iter += 1;
+    st.phase = Phase::Solve;
+    st.vprog = None;
+    Ok(())
+}
+
+/// Run SMG; returns the solution norm.
+pub fn run<C: Comm>(comm: &mut C, cfg: &SmgConfig) -> Result<f64, MpiError> {
+    let me = comm.rank();
+    let p = comm.nranks();
+    let n = 1usize << cfg.log2_n;
+    assert_eq!(n % p, 0, "SMG rank count must divide the grid");
+    assert!(p <= COARSEST / 2, "SMG supports at most {} ranks", COARSEST / 2);
+    let nl = n / p;
+    let lo = me * nl;
+    let h2 = h2_of(n);
+
+    let mut st = match comm.take_restored_state() {
+        Some(b) => SmgState::load(&b)?,
+        None => SmgState::fresh(),
+    };
+
+    // --- main, pragma #1: before setup ---
+    if st.phase == Phase::PreSetup {
+        comm.pragma(&mut |e| st.save(e))?;
+        st.rhs = (lo..lo + nl)
+            .map(|g| {
+                let t = g as f64 / n as f64;
+                (2.0 * std::f64::consts::PI * t).sin()
+                    + 0.3 * (6.0 * std::f64::consts::PI * t).sin()
+            })
+            .collect();
+        st.x = vec![0.0; nl];
+        st.phase = Phase::PreSolve;
+    }
+
+    // --- main, pragmas #2 and #3: after setup, before the solve ---
+    if st.phase == Phase::PreSolve {
+        comm.pragma(&mut |e| st.save(e))?;
+        // r = rhs - A·0 = rhs; z = M⁻¹ r; p = z; rho = <r, z>.
+        st.r = st.rhs.clone();
+        comm.pragma(&mut |e| st.save(e))?;
+        let z = vcycle(comm, n, cfg.smooth, VcycleProgress::start(&st.r), &mut |_c, _v| Ok(()))?;
+        let local: f64 = st.r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        st.rho = comm.allreduce_f64(local, Op::Sum)?;
+        st.pdir = z;
+        st.phase = Phase::Solve;
+    }
+
+    // --- hypre_PCGSolve (pragmas #4 at loop top, #5 inside the V-cycle) ---
+    loop {
+        // A restored in-V-cycle state re-enters here first.
+        if st.phase == Phase::SolveInVcycle {
+            let prog = st.vprog.take().expect("SolveInVcycle state without progress");
+            // Resume the preconditioner from the saved descent position. A
+            // further checkpoint inside the resumed V-cycle is again
+            // possible, hence the same save closure.
+            let z = {
+                let (head, tail) = split_state(&st);
+                vcycle(comm, n, cfg.smooth, prog, &mut |c, v| {
+                    c.pragma(&mut |e| save_with_vprog(head, tail, v, e)).map(|_| ())
+                })?
+            };
+            finish_iteration(comm, &mut st, z)?;
+            continue;
+        }
+        debug_assert_eq!(st.phase, Phase::Solve);
+        if st.iter >= cfg.iters {
+            st.phase = Phase::PostSolve;
+            break;
+        }
+        // §6.3: pragma at the top of the while-i loop in hypre_PCGSolve.
+        comm.pragma(&mut |e| st.save(e))?;
+        let ap = apply_helmholtz(comm, &st.pdir, h2, 100)?;
+        let local_pap: f64 = st.pdir.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        let pap = comm.allreduce_f64(local_pap, Op::Sum)?;
+        if !pap.is_finite() || pap.abs() < 1e-290 {
+            // The solve converged to machine zero; continuing would divide
+            // 0/0. The guard is an all-reduced value, so every rank takes
+            // this branch at the same iteration (deterministic on recovery).
+            st.phase = Phase::PostSolve;
+            break;
+        }
+        let alpha = st.rho / pap;
+        for i in 0..nl {
+            st.x[i] += alpha * st.pdir[i];
+            st.r[i] -= alpha * ap[i];
+        }
+        // Preconditioner with the in-V-cycle pragma: the state saved there
+        // marks this exact position (SolveInVcycle + descent progress).
+        st.phase = Phase::SolveInVcycle;
+        let z = {
+            let start = VcycleProgress::start(&st.r);
+            let (head, tail) = split_state(&st);
+            vcycle(comm, n, cfg.smooth, start, &mut |c, v| {
+                c.pragma(&mut |e| save_with_vprog(head, tail, v, e)).map(|_| ())
+            })?
+        };
+        finish_iteration(comm, &mut st, z)?;
+    }
+
+    // --- main, pragmas #6 and #7: after the solve ---
+    comm.pragma(&mut |e| st.save(e))?;
+    let local: f64 = st.x.iter().map(|v| v * v).sum();
+    let norm = comm.allreduce_f64(local, Op::Sum)?;
+    comm.pragma(&mut |e| st.save(e))?;
+    Ok((norm / n as f64).sqrt())
+}
+
+/// Borrow split so the V-cycle pragma can encode the full state (scalars +
+/// vectors) while `vcycle` independently owns the progress being saved.
+type StateHead = (Phase, u64, f64);
+type StateTail<'a> = (&'a [f64], &'a [f64], &'a [f64], &'a [f64]);
+
+fn split_state(st: &SmgState) -> (StateHead, StateTail<'_>) {
+    ((st.phase, st.iter, st.rho), (&st.x, &st.r, &st.pdir, &st.rhs))
+}
+
+fn save_with_vprog(head: StateHead, tail: StateTail<'_>, v: &VcycleProgress, e: &mut Encoder) {
+    let (phase, iter, rho) = head;
+    let (x, r, pdir, rhs) = tail;
+    e.u8(phase.code());
+    e.u64(iter);
+    e.f64_slice(x);
+    e.f64_slice(r);
+    e.f64_slice(pdir);
+    e.f64(rho);
+    e.f64_slice(rhs);
+    e.bool(true);
+    v.save(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcycle_reduces_helmholtz_residual() {
+        let out = mpisim::launch(&mpisim::JobSpec::new(1), |ctx| {
+            let n = 256usize;
+            let f: Vec<f64> = (0..n)
+                .map(|g| (2.0 * std::f64::consts::PI * g as f64 / n as f64).sin())
+                .collect();
+            let z = vcycle(ctx, n, 2, VcycleProgress::start(&f), &mut |_c, _v| Ok(()))?;
+            let az = apply_helmholtz(ctx, &z, h2_of(n), 900)?;
+            let res: f64 = f.iter().zip(&az).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let f0: f64 = f.iter().map(|v| v * v).sum::<f64>().sqrt();
+            Ok(res / f0)
+        })
+        .unwrap();
+        assert!(out.results[0] < 0.3, "V-cycle barely reduced the residual: {}", out.results[0]);
+    }
+
+    #[test]
+    fn level_ladder_is_rank_count_independent() {
+        let sizes = level_sizes(1 << 10);
+        assert!(sizes.len() > 1);
+        assert_eq!(*sizes.last().unwrap(), COARSEST);
+        for w in sizes.windows(2) {
+            assert_eq!(w[0], 2 * w[1]);
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_through_codec() {
+        let st = SmgState {
+            phase: Phase::SolveInVcycle,
+            iter: 7,
+            x: vec![1.0, 2.0],
+            r: vec![3.0],
+            pdir: vec![4.0, 5.0, 6.0],
+            rho: 0.25,
+            rhs: vec![9.0],
+            vprog: Some(VcycleProgress {
+                lvl: 2,
+                cur: vec![1.5],
+                rs: vec![vec![1.0], vec![2.0, 3.0]],
+                us: vec![vec![4.0]],
+            }),
+        };
+        let mut e = Encoder::new();
+        st.save(&mut e);
+        let back = SmgState::load(&e.finish()).unwrap();
+        assert_eq!(back.phase, st.phase);
+        assert_eq!(back.iter, st.iter);
+        assert_eq!(back.x, st.x);
+        assert_eq!(back.rho, st.rho);
+        let v = back.vprog.unwrap();
+        assert_eq!(v.lvl, 2);
+        assert_eq!(v.rs.len(), 2);
+        assert_eq!(v.us.len(), 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cfg = SmgConfig { log2_n: 8, iters: 5, smooth: 2 };
+        let serial =
+            mpisim::launch(&mpisim::JobSpec::new(1), |ctx| run(ctx, &cfg)).unwrap().results[0];
+        for p in [2usize, 4] {
+            let par =
+                mpisim::launch(&mpisim::JobSpec::new(p), |ctx| run(ctx, &cfg)).unwrap().results[0];
+            assert!(
+                (serial - par).abs() <= 1e-7 * serial.abs().max(1e-12),
+                "p={p}: {par} vs {serial}"
+            );
+        }
+    }
+}

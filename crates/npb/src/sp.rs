@@ -1,0 +1,220 @@
+//! SP — ADI with scalar tridiagonal line solves (the NPB SP skeleton).
+//!
+//! Alternating-direction implicit time stepping on an `n x n` grid
+//! partitioned in block rows: the x-direction solves are rank-local; the
+//! y-direction solves run a *pipelined Thomas algorithm* across ranks —
+//! forward elimination flows down the rank pipeline, back-substitution flows
+//! up, all with point-to-point messages and no barriers. The checkpoint
+//! location is "the bottom of the `step` loop" (§6.3).
+
+use crate::backend::{Comm, Op};
+use mpisim::MpiError;
+use statesave::codec::{Decoder, Encoder};
+
+/// SP parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SpConfig {
+    /// Grid is `n x n`.
+    pub n: usize,
+    /// Time steps.
+    pub steps: u64,
+    /// Implicit diffusion number (off-diagonal weight).
+    pub lambda: f64,
+}
+
+impl SpConfig {
+    /// Class presets.
+    pub fn class(c: crate::Class) -> Self {
+        match c {
+            crate::Class::S => SpConfig { n: 64, steps: 5, lambda: 0.4 },
+            crate::Class::W => SpConfig { n: 160, steps: 10, lambda: 0.4 },
+            crate::Class::A => SpConfig { n: 360, steps: 16, lambda: 0.4 },
+        }
+    }
+}
+
+fn rows_of(n: usize, rank: usize, p: usize) -> (usize, usize) {
+    let base = n / p;
+    let extra = n % p;
+    let lo = rank * base + rank.min(extra);
+    (lo, lo + base + usize::from(rank < extra))
+}
+
+/// Local tridiagonal solve (Thomas) of `(1+2λ) x_i - λ x_{i±1} = d_i` along
+/// one row.
+fn solve_line(d: &mut [f64], lambda: f64) {
+    let n = d.len();
+    let b = 1.0 + 2.0 * lambda;
+    let a = -lambda;
+    let mut cp = vec![0.0; n];
+    cp[0] = a / b;
+    d[0] /= b;
+    for i in 1..n {
+        let m = b - a * cp[i - 1];
+        cp[i] = a / m;
+        d[i] = (d[i] - a * d[i - 1]) / m;
+    }
+    for i in (0..n - 1).rev() {
+        d[i] -= cp[i] * d[i + 1];
+    }
+}
+
+struct SpState {
+    step: u64,
+    u: Vec<f64>, // rows x n row-major
+}
+
+impl SpState {
+    fn save(&self, e: &mut Encoder) {
+        e.u64(self.step);
+        e.f64_slice(&self.u);
+    }
+    fn load(b: &[u8]) -> Result<Self, MpiError> {
+        let mut d = Decoder::new(b);
+        let conv = |e: statesave::codec::CodecError| MpiError::Internal(e.to_string());
+        Ok(SpState { step: d.u64().map_err(conv)?, u: d.f64_vec().map_err(conv)? })
+    }
+}
+
+/// Pipelined Thomas elimination down the ranks for all `n` columns at once,
+/// then back-substitution up.
+fn y_solve<C: Comm>(comm: &mut C, u: &mut [f64], n: usize, lambda: f64) -> Result<(), MpiError> {
+    let me = comm.rank();
+    let p = comm.nranks();
+    let rows = u.len() / n;
+    let b = 1.0 + 2.0 * lambda;
+    let a = -lambda;
+
+    // Forward elimination: receive the previous rank's last (c', d') pair
+    // per column.
+    let (mut cp_prev, mut dp_prev) = if me > 0 {
+        let v = comm.recv_f64((me - 1) as i32, 60)?;
+        (v[..n].to_vec(), v[n..].to_vec())
+    } else {
+        (vec![0.0; n], vec![0.0; n])
+    };
+    let mut cp = vec![0.0; rows * n];
+    for r in 0..rows {
+        for j in 0..n {
+            let (cprev, dprev) = if r == 0 {
+                (cp_prev[j], dp_prev[j])
+            } else {
+                (cp[(r - 1) * n + j], u[(r - 1) * n + j])
+            };
+            let first_global = me == 0 && r == 0;
+            let m = if first_global { b } else { b - a * cprev };
+            cp[r * n + j] = a / m;
+            let dval = if first_global { u[r * n + j] } else { u[r * n + j] - a * dprev };
+            u[r * n + j] = dval / m;
+        }
+    }
+    if me + 1 < p {
+        let mut send = Vec::with_capacity(2 * n);
+        send.extend_from_slice(&cp[(rows - 1) * n..]);
+        send.extend_from_slice(&u[(rows - 1) * n..]);
+        comm.send_f64(me + 1, 60, &send)?;
+    }
+    cp_prev.clear();
+    dp_prev.clear();
+
+    // Back-substitution: receive the next rank's first solution row.
+    let below = if me + 1 < p { comm.recv_f64((me + 1) as i32, 61)? } else { vec![0.0; n] };
+    for r in (0..rows).rev() {
+        for j in 0..n {
+            let next = if r + 1 == rows {
+                if me + 1 < p {
+                    below[j]
+                } else {
+                    continue; // last global row: d is already the solution
+                }
+            } else {
+                u[(r + 1) * n + j]
+            };
+            u[r * n + j] -= cp[r * n + j] * next;
+        }
+    }
+    if me > 0 {
+        comm.send_f64(me - 1, 61, &u[..n])?;
+    }
+    Ok(())
+}
+
+/// Run SP; returns the field norm after the final step.
+pub fn run<C: Comm>(comm: &mut C, cfg: &SpConfig) -> Result<f64, MpiError> {
+    let me = comm.rank();
+    let p = comm.nranks();
+    let n = cfg.n;
+    let (lo, hi) = rows_of(n, me, p);
+    let rows = hi - lo;
+
+    let mut st = match comm.take_restored_state() {
+        Some(b) => SpState::load(&b)?,
+        None => {
+            let u: Vec<f64> = (0..rows * n)
+                .map(|k| {
+                    let g = (lo * n + k) as u64;
+                    ((g.wrapping_mul(0x2545F4914F6CDD1D) >> 33) % 1000) as f64 / 1000.0
+                })
+                .collect();
+            SpState { step: 0, u }
+        }
+    };
+
+    while st.step < cfg.steps {
+        // x-direction implicit solve: local per row.
+        for r in 0..rows {
+            solve_line(&mut st.u[r * n..(r + 1) * n], cfg.lambda);
+        }
+        // y-direction implicit solve: pipelined across ranks.
+        y_solve(comm, &mut st.u, n, cfg.lambda)?;
+        // Mild forcing keeps the field from decaying to zero.
+        for (k, v) in st.u.iter_mut().enumerate() {
+            *v += 1e-3 * (((lo * n + k) % 7) as f64 - 3.0);
+        }
+        st.step += 1;
+        // §6.3: checkpoint at the bottom of the step loop.
+        comm.pragma(&mut |e| st.save(e))?;
+    }
+
+    let local: f64 = st.u.iter().map(|x| x * x).sum();
+    let norm = comm.allreduce_f64(local, Op::Sum)?;
+    Ok((norm / (n * n) as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thomas_line_solver_exact() {
+        // Solve (1+2λ)x - λx_neighbors = d for a known x.
+        let n = 10;
+        let lambda = 0.3;
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut d = vec![0.0; n];
+        for i in 0..n {
+            let left = if i > 0 { x_true[i - 1] } else { 0.0 };
+            let right = if i + 1 < n { x_true[i + 1] } else { 0.0 };
+            d[i] = (1.0 + 2.0 * lambda) * x_true[i] - lambda * (left + right);
+        }
+        solve_line(&mut d, lambda);
+        for i in 0..n {
+            assert!((d[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cfg = SpConfig { n: 40, steps: 4, lambda: 0.35 };
+        let serial =
+            mpisim::launch(&mpisim::JobSpec::new(1), |ctx| run(ctx, &cfg)).unwrap().results[0];
+        for p in [2usize, 4, 5] {
+            let par =
+                mpisim::launch(&mpisim::JobSpec::new(p), |ctx| run(ctx, &cfg)).unwrap().results[0];
+            assert!(
+                (serial - par).abs() <= 1e-9 * serial.abs().max(1e-12),
+                "p={p}: {par} vs {serial}"
+            );
+        }
+    }
+}

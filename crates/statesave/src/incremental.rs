@@ -1,0 +1,201 @@
+//! Incremental checkpointing.
+//!
+//! Listed by the paper as ongoing work: "we are incorporating incremental
+//! checkpointing into our system, which will permit the system to save only
+//! those data that have been modified since the last checkpoint" (§5). This
+//! module implements it for named state chunks: each chunk's content hash is
+//! compared with the hash at the previous checkpoint; unchanged chunks are
+//! recorded by reference, changed chunks by value. A restore replays the
+//! base-plus-delta chain.
+
+use crate::codec::{CodecError, Decoder, Encoder};
+use std::collections::BTreeMap;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One incremental checkpoint: changed chunks by value, unchanged by hash
+/// reference, and tombstones for removed chunks.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Delta {
+    /// Chunks whose content changed (or are new): name → bytes.
+    pub changed: BTreeMap<String, Vec<u8>>,
+    /// Chunks unchanged since the previous checkpoint: name → content hash.
+    pub unchanged: BTreeMap<String, u64>,
+    /// Names removed since the previous checkpoint.
+    pub removed: Vec<String>,
+}
+
+impl Delta {
+    /// Bytes that must be written for this checkpoint (the paper's saving:
+    /// only modified data travels to disk).
+    pub fn payload_bytes(&self) -> usize {
+        self.changed.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>()
+            + self.unchanged.keys().map(|k| k.len() + 8).sum::<usize>()
+    }
+
+    /// Serialize.
+    pub fn save(&self, e: &mut Encoder) {
+        e.save(&self.changed);
+        e.save(&self.unchanged);
+        e.save(&self.removed);
+    }
+
+    /// Deserialize.
+    pub fn load(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Delta { changed: d.load()?, unchanged: d.load()?, removed: d.load()? })
+    }
+}
+
+/// Tracks chunk hashes across checkpoints and builds deltas.
+#[derive(Default, Debug)]
+pub struct IncrementalSaver {
+    prev_hashes: BTreeMap<String, u64>,
+}
+
+impl IncrementalSaver {
+    /// Fresh saver: the first checkpoint is a full one.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the delta for the current state (`chunks`: name → bytes) and
+    /// advance the saver's notion of "previous checkpoint".
+    pub fn checkpoint(&mut self, chunks: &BTreeMap<String, Vec<u8>>) -> Delta {
+        let mut delta = Delta::default();
+        let mut new_hashes = BTreeMap::new();
+        for (name, bytes) in chunks {
+            let h = fnv1a(bytes);
+            new_hashes.insert(name.clone(), h);
+            match self.prev_hashes.get(name) {
+                Some(&ph) if ph == h => {
+                    delta.unchanged.insert(name.clone(), h);
+                }
+                _ => {
+                    delta.changed.insert(name.clone(), bytes.clone());
+                }
+            }
+        }
+        for name in self.prev_hashes.keys() {
+            if !chunks.contains_key(name) {
+                delta.removed.push(name.clone());
+            }
+        }
+        self.prev_hashes = new_hashes;
+        delta
+    }
+
+    /// Reconstruct full state from a base-to-latest chain of deltas.
+    /// Returns an error if an `unchanged` reference points at a chunk that
+    /// is missing or whose hash disagrees (a corrupted chain).
+    pub fn reconstruct(chain: &[Delta]) -> Result<BTreeMap<String, Vec<u8>>, CodecError> {
+        let mut state: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for (i, delta) in chain.iter().enumerate() {
+            for name in &delta.removed {
+                state.remove(name);
+            }
+            // Unchanged references must resolve against accumulated state.
+            for (name, h) in &delta.unchanged {
+                match state.get(name) {
+                    Some(bytes) if fnv1a(bytes) == *h => {}
+                    Some(_) => {
+                        return Err(CodecError(format!(
+                            "delta {i}: hash mismatch for unchanged chunk '{name}'"
+                        )))
+                    }
+                    None => {
+                        return Err(CodecError(format!(
+                            "delta {i}: unchanged chunk '{name}' missing from chain"
+                        )))
+                    }
+                }
+            }
+            for (name, bytes) in &delta.changed {
+                state.insert(name.clone(), bytes.clone());
+            }
+            // Chunks present before but in neither list were implicitly
+            // dropped (not referenced by this checkpoint).
+            let referenced: std::collections::BTreeSet<&String> =
+                delta.changed.keys().chain(delta.unchanged.keys()).collect();
+            state.retain(|k, _| referenced.contains(k));
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks(pairs: &[(&str, &[u8])]) -> BTreeMap<String, Vec<u8>> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_vec())).collect()
+    }
+
+    #[test]
+    fn first_checkpoint_is_full() {
+        let mut s = IncrementalSaver::new();
+        let d = s.checkpoint(&chunks(&[("a", b"111"), ("b", b"22")]));
+        assert_eq!(d.changed.len(), 2);
+        assert!(d.unchanged.is_empty());
+    }
+
+    #[test]
+    fn unchanged_chunks_become_references() {
+        let mut s = IncrementalSaver::new();
+        let c1 = chunks(&[("grid", &[0u8; 1000]), ("step", b"1")]);
+        let d1 = s.checkpoint(&c1);
+        let c2 = chunks(&[("grid", &[0u8; 1000]), ("step", b"2")]);
+        let d2 = s.checkpoint(&c2);
+        assert_eq!(d2.changed.len(), 1);
+        assert!(d2.changed.contains_key("step"));
+        assert_eq!(d2.unchanged.len(), 1);
+        // Incremental payload is much smaller than the full one.
+        assert!(d2.payload_bytes() < d1.payload_bytes() / 10);
+        // And the chain reconstructs the exact state.
+        let state = IncrementalSaver::reconstruct(&[d1, d2]).unwrap();
+        assert_eq!(state, c2);
+    }
+
+    #[test]
+    fn removed_chunks_disappear() {
+        let mut s = IncrementalSaver::new();
+        let d1 = s.checkpoint(&chunks(&[("a", b"x"), ("b", b"y")]));
+        let d2 = s.checkpoint(&chunks(&[("a", b"x")]));
+        assert_eq!(d2.removed, vec!["b".to_string()]);
+        let state = IncrementalSaver::reconstruct(&[d1, d2]).unwrap();
+        assert_eq!(state, chunks(&[("a", b"x")]));
+    }
+
+    #[test]
+    fn corrupted_chain_detected() {
+        let mut s = IncrementalSaver::new();
+        let d1 = s.checkpoint(&chunks(&[("a", b"x")]));
+        let mut d2 = s.checkpoint(&chunks(&[("a", b"x")]));
+        // Corrupt: drop the base delta.
+        let err = IncrementalSaver::reconstruct(std::slice::from_ref(&d2));
+        assert!(err.is_err());
+        // Corrupt: tamper with the referenced hash.
+        if let Some(h) = d2.unchanged.get_mut("a") {
+            *h ^= 1;
+        }
+        assert!(IncrementalSaver::reconstruct(&[d1, d2]).is_err());
+    }
+
+    #[test]
+    fn delta_codec_roundtrip() {
+        let mut s = IncrementalSaver::new();
+        let _ = s.checkpoint(&chunks(&[("a", b"1"), ("b", b"2")]));
+        let d = s.checkpoint(&chunks(&[("a", b"1"), ("c", b"3")]));
+        let mut e = Encoder::new();
+        d.save(&mut e);
+        let buf = e.finish();
+        let d2 = Delta::load(&mut Decoder::new(&buf)).unwrap();
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,177 @@
+//! The variable-description registry.
+//!
+//! In the paper, the precompiler inserts calls that "pass a description of
+//! that variable to the utility library, where it is added to the set of
+//! variables in scope" as variables enter and leave scope (§5); at a
+//! checkpoint, the maintained description is used to write the state out,
+//! and the description itself is stored too so the state can be rebuilt on
+//! restart. This module is that utility library: applications (or the
+//! pragma-equivalent macros in the `c3` crate) register named, typed blobs;
+//! `save`/`restore` write and rebuild the whole set, descriptions included.
+
+use crate::codec::{CodecError, Decoder, Encoder};
+
+/// Type tag carried in a variable description — enough to sanity-check a
+/// restore, not a portable schema (C³ checkpoints are binary/non-portable by
+/// design).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TypeCode {
+    /// Raw bytes.
+    Bytes,
+    /// `i64` scalar or array.
+    I64,
+    /// `f64` scalar or array.
+    F64,
+    /// Nested record encoded with the codec.
+    Record,
+}
+
+impl TypeCode {
+    fn code(self) -> u8 {
+        match self {
+            TypeCode::Bytes => 0,
+            TypeCode::I64 => 1,
+            TypeCode::F64 => 2,
+            TypeCode::Record => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Self> {
+        Some(match c {
+            0 => TypeCode::Bytes,
+            1 => TypeCode::I64,
+            2 => TypeCode::F64,
+            3 => TypeCode::Record,
+            _ => return None,
+        })
+    }
+}
+
+/// One registered variable: its description plus current value bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDesc {
+    /// The variable's name (unique within the registry).
+    pub name: String,
+    /// Its type tag.
+    pub ty: TypeCode,
+    /// Current value, encoded.
+    pub value: Vec<u8>,
+}
+
+/// An ordered set of registered variables ("the set of variables in scope").
+#[derive(Default, Debug)]
+pub struct VariableRegistry {
+    vars: Vec<VarDesc>,
+}
+
+impl VariableRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or overwrite) a variable — the precompiler's
+    /// "variable enters scope" hook.
+    pub fn register(&mut self, name: &str, ty: TypeCode, value: Vec<u8>) {
+        if let Some(v) = self.vars.iter_mut().find(|v| v.name == name) {
+            v.ty = ty;
+            v.value = value;
+        } else {
+            self.vars.push(VarDesc { name: name.to_string(), ty, value });
+        }
+    }
+
+    /// Remove a variable — the "variable leaves scope" hook. Returns true if
+    /// it was present.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        let before = self.vars.len();
+        self.vars.retain(|v| v.name != name);
+        self.vars.len() != before
+    }
+
+    /// Look up a variable's current value.
+    pub fn get(&self, name: &str) -> Option<&VarDesc> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Number of variables in scope.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Total bytes of live variable data (the application-level state size —
+    /// what Table 1 measures for C³).
+    pub fn live_bytes(&self) -> usize {
+        self.vars.iter().map(|v| v.value.len() + v.name.len() + 1).sum()
+    }
+
+    /// Write descriptions and values to `e` (the checkpoint-time dump).
+    pub fn save(&self, e: &mut Encoder) {
+        e.u64(self.vars.len() as u64);
+        for v in &self.vars {
+            e.str(&v.name);
+            e.u8(v.ty.code());
+            e.bytes(&v.value);
+        }
+    }
+
+    /// Rebuild a registry from a checkpoint.
+    pub fn load(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let n = d.u64()? as usize;
+        let mut vars = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = d.str()?;
+            let ty = TypeCode::from_code(d.u8()?)
+                .ok_or_else(|| CodecError("bad type code".into()))?;
+            let value = d.bytes()?;
+            vars.push(VarDesc { name, ty, value });
+        }
+        Ok(VariableRegistry { vars })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_tracking() {
+        let mut r = VariableRegistry::new();
+        r.register("x", TypeCode::I64, 42i64.to_le_bytes().to_vec());
+        r.register("grid", TypeCode::F64, vec![0; 80]);
+        assert_eq!(r.len(), 2);
+        assert!(r.unregister("x"));
+        assert!(!r.unregister("x"));
+        assert_eq!(r.len(), 1);
+        assert!(r.get("grid").is_some());
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut r = VariableRegistry::new();
+        r.register("t", TypeCode::I64, vec![1]);
+        r.register("t", TypeCode::I64, vec![2]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get("t").unwrap().value, vec![2]);
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut r = VariableRegistry::new();
+        r.register("a", TypeCode::Bytes, vec![1, 2, 3]);
+        r.register("b", TypeCode::Record, vec![9; 17]);
+        let mut e = Encoder::new();
+        r.save(&mut e);
+        let buf = e.finish();
+        let r2 = VariableRegistry::load(&mut Decoder::new(&buf)).unwrap();
+        assert_eq!(r2.len(), 2);
+        assert_eq!(r2.get("a").unwrap().value, vec![1, 2, 3]);
+        assert_eq!(r2.get("b").unwrap().ty, TypeCode::Record);
+        assert_eq!(r.live_bytes(), r2.live_bytes());
+    }
+}

@@ -1,0 +1,128 @@
+//! A Condor-style system-level checkpointing (SLC) baseline.
+//!
+//! The paper compares C³'s application-level checkpoint sizes against Condor
+//! (Table 1). Condor dumps "all the bits of the computation": the entire
+//! process image — heap arena including freed blocks, the full stack, static
+//! data, and the text/library segments — whereas C³ "saves only live data
+//! (memory that has not been freed by the programmer) from the heap" (§6.1).
+//!
+//! This module reproduces that mechanism against the simulated process image
+//! of [`crate::memmgr::CkptHeap`]: the SLC checkpoint is the arena high-water
+//! image plus fixed stack/static/text segments, and it can actually be
+//! written to disk so the size comparison is made on real files.
+
+use crate::memmgr::CkptHeap;
+use crate::store::CkptStore;
+
+/// Sizes of the non-heap segments of the simulated process image.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessImageModel {
+    /// Stack segment bytes (Condor dumps the whole mapped stack).
+    pub stack_bytes: usize,
+    /// Static/BSS data bytes.
+    pub static_bytes: usize,
+    /// Text + loaded library bytes (the part of an SLC image that exists
+    /// even for a program with no data at all — why Condor's EP checkpoint
+    /// is megabytes while C³'s is a few bytes of live state).
+    pub text_bytes: usize,
+}
+
+impl Default for ProcessImageModel {
+    fn default() -> Self {
+        // Modeled on a small statically-linked scientific executable of the
+        // paper's era: 64 KiB stack in use, 512 KiB static data, ~1.7 MiB of
+        // text and libraries (Condor's Linux EP image was 1.74 MB).
+        ProcessImageModel { stack_bytes: 64 << 10, static_bytes: 512 << 10, text_bytes: 1_740_000 }
+    }
+}
+
+/// The system-level checkpointer baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlcCheckpointer {
+    /// Segment model for the non-heap parts of the image.
+    pub image: ProcessImageModel,
+}
+
+impl SlcCheckpointer {
+    /// Create a checkpointer with the default image model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The size an SLC checkpoint of this process would have.
+    pub fn checkpoint_size(&self, heap: &CkptHeap) -> usize {
+        heap.image_bytes() + self.image.stack_bytes + self.image.static_bytes + self.image.text_bytes
+    }
+
+    /// Actually write the image (heap arena + segments) as one section, so
+    /// table generators compare real file sizes. The arena content beyond
+    /// live objects is zero (freed bytes), like a core dump of an arena with
+    /// freed blocks.
+    pub fn write_checkpoint(
+        &self,
+        store: &CkptStore,
+        version: u64,
+        rank: usize,
+        heap: &CkptHeap,
+    ) -> std::io::Result<u64> {
+        let size = self.checkpoint_size(heap);
+        // The image holds the live heap contents at the front of the arena
+        // region; the rest (freed blocks, stack, static, text) is dumped as
+        // zeros — placement within the image is irrelevant to the size
+        // comparison, the point is that *all of it* is written.
+        let mut img = vec![0u8; size];
+        let mut enc = crate::codec::Encoder::new();
+        heap.save(&mut enc);
+        let live = enc.finish();
+        let n = live.len().min(img.len());
+        img[..n].copy_from_slice(&live[..n]);
+        store.write_section(version, rank, "slc_image", &img)?;
+        Ok(size as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CkptStore;
+
+    #[test]
+    fn slc_dominates_alc_for_transient_heavy_workloads() {
+        // EP-like: big transient allocations, tiny live state.
+        let mut heap = CkptHeap::new();
+        for _ in 0..10 {
+            let t = heap.alloc(1 << 20);
+            heap.free(t);
+        }
+        let _live = heap.alloc_init(vec![1u8; 1024]);
+        let slc = SlcCheckpointer::new();
+        let slc_size = slc.checkpoint_size(&heap);
+        let alc_size = heap.live_bytes();
+        assert!(slc_size > 50 * alc_size, "slc {slc_size} vs alc {alc_size}");
+    }
+
+    #[test]
+    fn slc_close_to_alc_for_data_dominated_workloads() {
+        // CG/FT-like: one huge live array dominates both checkpoints.
+        let mut heap = CkptHeap::new();
+        let _a = heap.alloc(64 << 20);
+        let slc = SlcCheckpointer::new();
+        let slc_size = slc.checkpoint_size(&heap) as f64;
+        let alc_size = heap.live_bytes() as f64;
+        let reduction = (slc_size - alc_size) / slc_size;
+        assert!(reduction < 0.05, "reduction {reduction} should be small");
+    }
+
+    #[test]
+    fn writes_real_image_file() {
+        let root = std::env::temp_dir().join(format!("c3-slc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = CkptStore::new(&root).unwrap();
+        let mut heap = CkptHeap::new();
+        let _a = heap.alloc_init(vec![5u8; 4096]);
+        let slc = SlcCheckpointer::new();
+        let sz = slc.write_checkpoint(&store, 1, 0, &heap).unwrap();
+        assert_eq!(store.checkpoint_bytes(1, 0).unwrap(), sz);
+        store.destroy().unwrap();
+    }
+}

@@ -1,0 +1,192 @@
+//! Versioned on-disk checkpoint store with two-phase commit markers.
+//!
+//! Layout under a root directory:
+//!
+//! ```text
+//! root/ckpt_v<N>/rank_<R>/<section>.bin   -- named sections
+//! root/ckpt_v<N>/rank_<R>/COMMIT          -- commit marker
+//! ```
+//!
+//! The protocol's checkpoint is two-phase: application/MPI state is written
+//! when the recovery line is crossed (`chkpt_StartCheckpoint`), and the
+//! late-message log plus the commit marker are written only when all late
+//! messages have been received (`chkpt_CommitCheckpoint`, Fig. 5). A version
+//! directory without `COMMIT` is an aborted checkpoint and is ignored (and
+//! garbage-collected) on recovery. The *global* recovery line is the largest
+//! version committed by **all** ranks — computed at restore time by a global
+//! reduction, exactly as in the paper's `chkpt_RestoreCheckpoint`.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Handle to a checkpoint root directory for one job.
+#[derive(Clone, Debug)]
+pub struct CkptStore {
+    root: PathBuf,
+}
+
+impl CkptStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(CkptStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn rank_dir(&self, version: u64, rank: usize) -> PathBuf {
+        self.root.join(format!("ckpt_v{version}")).join(format!("rank_{rank}"))
+    }
+
+    /// Write a named section for `(version, rank)`.
+    pub fn write_section(
+        &self,
+        version: u64,
+        rank: usize,
+        section: &str,
+        bytes: &[u8],
+    ) -> std::io::Result<()> {
+        let dir = self.rank_dir(version, rank);
+        fs::create_dir_all(&dir)?;
+        let mut f = fs::File::create(dir.join(format!("{section}.bin")))?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Read a named section for `(version, rank)`.
+    pub fn read_section(&self, version: u64, rank: usize, section: &str) -> std::io::Result<Vec<u8>> {
+        let mut f = fs::File::open(self.rank_dir(version, rank).join(format!("{section}.bin")))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Does a section exist?
+    pub fn has_section(&self, version: u64, rank: usize, section: &str) -> bool {
+        self.rank_dir(version, rank).join(format!("{section}.bin")).exists()
+    }
+
+    /// Total bytes of all sections for `(version, rank)` — the rank's
+    /// checkpoint size as reported in the paper's tables.
+    pub fn checkpoint_bytes(&self, version: u64, rank: usize) -> std::io::Result<u64> {
+        let dir = self.rank_dir(version, rank);
+        let mut total = 0;
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.path().extension().map(|e| e == "bin").unwrap_or(false) {
+                total += entry.metadata()?.len();
+            }
+        }
+        Ok(total)
+    }
+
+    /// Write the commit marker for `(version, rank)` — the end of
+    /// `chkpt_CommitCheckpoint`.
+    pub fn mark_committed(&self, version: u64, rank: usize) -> std::io::Result<()> {
+        let dir = self.rank_dir(version, rank);
+        fs::create_dir_all(&dir)?;
+        let mut f = fs::File::create(dir.join("COMMIT"))?;
+        f.write_all(b"ok")?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Is `(version, rank)` committed?
+    pub fn is_committed(&self, version: u64, rank: usize) -> bool {
+        self.rank_dir(version, rank).join("COMMIT").exists()
+    }
+
+    /// The last version this rank committed, if any ("query last local saved
+    /// checkpoint committed to disk", Fig. 5).
+    pub fn last_committed(&self, rank: usize) -> Option<u64> {
+        self.versions().into_iter().rev().find(|v| self.is_committed(*v, rank))
+    }
+
+    /// All version numbers present in the store, ascending.
+    pub fn versions(&self) -> Vec<u64> {
+        let mut vs: Vec<u64> = match fs::read_dir(&self.root) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    e.file_name().to_str().and_then(|n| n.strip_prefix("ckpt_v").map(String::from))
+                })
+                .filter_map(|n| n.parse().ok())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        vs.sort_unstable();
+        vs
+    }
+
+    /// Remove every version newer than `keep` (uncommitted or superseded
+    /// lines discarded on recovery) and, optionally, versions older than
+    /// `keep` (space reclamation).
+    pub fn prune(&self, keep: u64, drop_older: bool) -> std::io::Result<()> {
+        for v in self.versions() {
+            if v > keep || (drop_older && v < keep) {
+                let _ = fs::remove_dir_all(self.root.join(format!("ckpt_v{v}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete the whole store.
+    pub fn destroy(self) -> std::io::Result<()> {
+        fs::remove_dir_all(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("c3-store-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn section_roundtrip_and_size() {
+        let store = CkptStore::new(tmp("rt")).unwrap();
+        store.write_section(1, 0, "app", b"hello").unwrap();
+        store.write_section(1, 0, "late", &[0u8; 100]).unwrap();
+        assert_eq!(store.read_section(1, 0, "app").unwrap(), b"hello");
+        assert_eq!(store.checkpoint_bytes(1, 0).unwrap(), 105);
+        assert!(store.has_section(1, 0, "late"));
+        assert!(!store.has_section(1, 0, "nope"));
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn commit_markers_and_last_committed() {
+        let store = CkptStore::new(tmp("commit")).unwrap();
+        store.write_section(1, 0, "app", b"a").unwrap();
+        store.mark_committed(1, 0).unwrap();
+        store.write_section(2, 0, "app", b"b").unwrap();
+        // v2 never committed: last committed stays 1.
+        assert_eq!(store.last_committed(0), Some(1));
+        store.mark_committed(2, 0).unwrap();
+        assert_eq!(store.last_committed(0), Some(2));
+        assert_eq!(store.last_committed(1), None);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn prune_discards_newer_uncommitted() {
+        let store = CkptStore::new(tmp("prune")).unwrap();
+        for v in 1..=3 {
+            store.write_section(v, 0, "app", b"x").unwrap();
+        }
+        store.mark_committed(1, 0).unwrap();
+        store.prune(1, false).unwrap();
+        assert_eq!(store.versions(), vec![1]);
+        store.destroy().unwrap();
+    }
+}

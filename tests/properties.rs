@@ -1,0 +1,422 @@
+//! Property-based tests (DESIGN.md §7) on the protocol's data structures
+//! and invariants, spanning the `c3` and `statesave` crates.
+
+use c3::piggyback::{self, MsgClass, PigData};
+use c3::registries::{EarlyRegistry, ReplayLog, StreamKind, StreamSig, WasEarlyRegistry};
+use c3::Mode;
+use proptest::prelude::*;
+use statesave::codec::{Decoder, Encoder};
+use statesave::{CkptHeap, IncrementalSaver, VariableRegistry};
+use std::collections::BTreeMap;
+
+fn any_mode() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::Run),
+        Just(Mode::NonDetLog),
+        Just(Mode::RecvOnlyLog),
+        Just(Mode::Restore),
+    ]
+}
+
+fn any_kind() -> impl Strategy<Value = StreamKind> {
+    prop_oneof![
+        (0i32..1000).prop_map(|tag| StreamKind::P2p { tag }),
+        (0u64..10_000).prop_map(|call| StreamKind::Coll { call }),
+    ]
+}
+
+fn any_sig() -> impl Strategy<Value = StreamSig> {
+    (0usize..64, 0usize..64, 0u32..4, any_kind())
+        .prop_map(|(src, dst, comm, kind)| StreamSig { src, dst, comm, kind })
+}
+
+proptest! {
+    /// The 3-bit piggyback roundtrips the epoch color and logging bit for
+    /// every epoch × mode combination (§3.2).
+    #[test]
+    fn piggyback_roundtrip(epoch in 0u64..1_000_000, mode in any_mode()) {
+        let pig = PigData::of(epoch, mode);
+        let byte = piggyback::encode(pig);
+        // Only 3 bits on the wire.
+        prop_assert!(byte < 8, "more than 3 bits used: {byte:#x}");
+        let (color, logging) = piggyback::decode(byte);
+        prop_assert_eq!(color, (epoch % 3) as u8);
+        prop_assert_eq!(logging, mode.nondet_logging());
+    }
+
+    /// Classification recovers the sender-receiver epoch relation for every
+    /// legal epoch distance (|eA - eB| <= 1, Definition 1 + the at-most-one-
+    /// line-crossing property).
+    #[test]
+    fn classification_matches_epoch_relation(
+        receiver_epoch in 1u64..1_000_000,
+        delta in -1i64..=1,
+        mode in any_mode(),
+    ) {
+        let sender_epoch = (receiver_epoch as i64 + delta) as u64;
+        let pig = PigData::of(sender_epoch, mode);
+        let (color, _) = piggyback::decode(piggyback::encode(pig));
+        let class = piggyback::classify(receiver_epoch, color);
+        let expected = match delta {
+            -1 => MsgClass::Late,
+            0 => MsgClass::IntraEpoch,
+            1 => MsgClass::Early,
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(class, expected);
+        // The economical encoding agrees with the full-epoch encoding's
+        // reconstruction (the §3.2 ablation).
+        prop_assert_eq!(piggyback::sender_epoch(receiver_epoch, color), sender_epoch);
+    }
+
+    /// Full (non-economical) piggyback roundtrips exactly.
+    #[test]
+    fn full_piggyback_roundtrip(epoch in 0u64..u64::MAX / 2, mode in any_mode()) {
+        let pig = PigData::of(epoch, mode);
+        let back = piggyback::decode_full(&piggyback::encode_full(pig));
+        prop_assert_eq!(back, pig);
+    }
+
+    /// Mode codes roundtrip; transition legality matches Fig. 3 exactly.
+    #[test]
+    fn mode_machine_is_fig3(a in any_mode(), b in any_mode()) {
+        prop_assert_eq!(Mode::from_code(a.code()), Some(a));
+        let legal = matches!(
+            (a, b),
+            (Mode::Run, Mode::NonDetLog)            // start checkpoint
+                | (Mode::NonDetLog, Mode::RecvOnlyLog) // all nodes started
+                | (Mode::RecvOnlyLog, Mode::Run)       // commit
+                | (Mode::NonDetLog, Mode::Run)         // fast-path commit (Fig. 5
+                                                       // pragma: no late expected)
+                | (Mode::Restore, Mode::Run)           // restore done
+        );
+        prop_assert_eq!(a.can_transition(b), legal, "transition {:?} -> {:?}", a, b);
+    }
+
+    /// The binary codec roundtrips arbitrary interleavings of values — the
+    /// paper's "all data saved as binary" format must be self-consistent.
+    #[test]
+    fn codec_roundtrip(
+        us in proptest::collection::vec(any::<u64>(), 0..50),
+        is in proptest::collection::vec(any::<i64>(), 0..50),
+        fs in proptest::collection::vec(any::<f64>(), 0..50),
+        bs in proptest::collection::vec(any::<u8>(), 0..200),
+        s in "[ -~]{0,64}",
+        flag in any::<bool>(),
+    ) {
+        let mut e = Encoder::new();
+        e.bool(flag);
+        for v in &us { e.u64(*v); }
+        e.str(&s);
+        for v in &is { e.i64(*v); }
+        e.bytes(&bs);
+        e.f64_slice(&fs);
+        e.usize(us.len());
+
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        prop_assert_eq!(d.bool().unwrap(), flag);
+        for v in &us { prop_assert_eq!(d.u64().unwrap(), *v); }
+        prop_assert_eq!(d.str().unwrap(), s);
+        for v in &is { prop_assert_eq!(d.i64().unwrap(), *v); }
+        prop_assert_eq!(d.bytes().unwrap(), bs);
+        let back = d.f64_vec().unwrap();
+        prop_assert_eq!(back.len(), fs.len());
+        for (a, b) in back.iter().zip(&fs) {
+            prop_assert!(a == b || (a.is_nan() && b.is_nan()));
+        }
+        prop_assert_eq!(d.usize().unwrap(), us.len());
+        prop_assert!(d.is_exhausted());
+    }
+
+    /// Truncated buffers always produce an error, never a panic or a bogus
+    /// value read past the end.
+    #[test]
+    fn codec_rejects_truncation(
+        vals in proptest::collection::vec(any::<u64>(), 1..20),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let mut e = Encoder::new();
+        for v in &vals { e.u64(*v); }
+        let buf = e.finish();
+        let cut = cut.index(buf.len().max(1));
+        let mut d = Decoder::new(&buf[..cut]);
+        let mut ok = 0usize;
+        while let Ok(v) = d.u64() {
+            prop_assert_eq!(v, vals[ok]);
+            ok += 1;
+            prop_assert!(ok <= vals.len());
+        }
+        prop_assert_eq!(ok, cut / 8);
+    }
+
+    /// The replay log preserves per-signature FIFO: entries with the same
+    /// signature are taken in insertion order, and every inserted late
+    /// message is taken exactly once.
+    #[test]
+    fn replay_log_fifo_per_signature(
+        sigs in proptest::collection::vec(any_sig(), 1..40),
+    ) {
+        let mut log = ReplayLog::new();
+        // Tag each message's payload with its global insertion index.
+        for (i, sig) in sigs.iter().enumerate() {
+            log.push_late(*sig, vec![i as u8]);
+        }
+        // Drain by repeatedly taking the match for each distinct signature.
+        let mut taken: Vec<(StreamSig, u8)> = Vec::new();
+        for sig in &sigs {
+            if let StreamKind::P2p { tag } = sig.kind {
+                if let Some(entry) = log.take_p2p_match(sig.src as i32, tag, sig.comm) {
+                    taken.push((entry.sig, entry.data.unwrap()[0]));
+                }
+            } else if let StreamKind::Coll { call } = sig.kind {
+                if let Some(data) = log.take_coll_match(sig.comm, call, sig.src) {
+                    taken.push((*sig, data[0]));
+                }
+            }
+        }
+        // Per signature, indices must be increasing.
+        let mut last: BTreeMap<String, u8> = BTreeMap::new();
+        for (sig, idx) in &taken {
+            let key = format!("{sig:?}");
+            if let Some(prev) = last.get(&key) {
+                prop_assert!(idx > prev, "same-signature replay out of order");
+            }
+            last.insert(key, *idx);
+        }
+    }
+
+    /// Early-registry entries routed per sender and suppressed in the
+    /// Was-Early-Registry: every recorded early message is suppressed
+    /// exactly once, and an extra send is NOT suppressed.
+    #[test]
+    fn early_suppression_is_exactly_once(
+        sigs in proptest::collection::vec(any_sig(), 0..30),
+    ) {
+        let mut early = EarlyRegistry::new();
+        for s in &sigs {
+            early.push(*s);
+        }
+        let mut was = WasEarlyRegistry::new();
+        for src in 0..64 {
+            for s in early.entries_from(src) {
+                was.add(s);
+            }
+        }
+        prop_assert_eq!(was.len(), sigs.len());
+        for s in &sigs {
+            prop_assert!(was.try_suppress(s), "recorded early send not suppressed");
+        }
+        prop_assert!(was.is_empty());
+        for s in &sigs {
+            prop_assert!(!was.try_suppress(s), "suppressed more sends than were early");
+        }
+    }
+
+    /// Registries roundtrip through the checkpoint codec.
+    #[test]
+    fn registries_roundtrip_codec(sigs in proptest::collection::vec(any_sig(), 0..30)) {
+        let mut log = ReplayLog::new();
+        let mut early = EarlyRegistry::new();
+        for (i, s) in sigs.iter().enumerate() {
+            log.push_late(*s, vec![i as u8; i % 7]);
+            early.push(*s);
+        }
+        let mut e = Encoder::new();
+        log.save(&mut e);
+        early.save(&mut e);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        let log2 = ReplayLog::load(&mut d).unwrap();
+        let early2 = EarlyRegistry::load(&mut d).unwrap();
+        prop_assert_eq!(log2.len(), log.len());
+        prop_assert_eq!(log2.data_bytes(), log.data_bytes());
+        prop_assert_eq!(early2.entries(), early.entries());
+    }
+
+    /// The checkpointable heap: alloc/mutate/free sequences roundtrip
+    /// through save/load with stable object ids.
+    #[test]
+    fn heap_roundtrip(ops in proptest::collection::vec((0u8..3, any::<u8>()), 1..60)) {
+        let mut heap = CkptHeap::new();
+        let mut ids = Vec::new();
+        for (op, val) in &ops {
+            match op {
+                0 => ids.push(heap.alloc_init(vec![*val; (*val as usize % 16) + 1])),
+                1 => {
+                    if let Some(id) = ids.last() {
+                        if let Some(b) = heap.get_mut(*id) {
+                            b[0] = b[0].wrapping_add(*val);
+                        }
+                    }
+                }
+                _ => {
+                    if ids.len() > 1 {
+                        let id = ids.remove(0);
+                        heap.free(id);
+                    }
+                }
+            }
+        }
+        let mut e = Encoder::new();
+        heap.save(&mut e);
+        let buf = e.finish();
+        let restored = CkptHeap::load(&mut Decoder::new(&buf)).unwrap();
+        prop_assert_eq!(restored.live_objects(), heap.live_objects());
+        prop_assert_eq!(restored.live_bytes(), heap.live_bytes());
+        for id in &ids {
+            prop_assert_eq!(restored.get(*id), heap.get(*id));
+        }
+        // Ids allocated after a restore must not collide with live ids.
+        let mut restored = restored;
+        let fresh = restored.alloc_init(vec![1, 2, 3]);
+        prop_assert!(ids.iter().all(|i| *i != fresh));
+    }
+
+    /// The variable registry (precompiler stand-in) roundtrips.
+    #[test]
+    fn variable_registry_roundtrip(
+        vars in proptest::collection::vec(("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..16)), 0..20),
+    ) {
+        let mut reg = VariableRegistry::new();
+        for (name, bytes) in &vars {
+            reg.register(name, statesave::TypeCode::Bytes, bytes.clone());
+        }
+        let mut e = Encoder::new();
+        reg.save(&mut e);
+        let buf = e.finish();
+        let back = VariableRegistry::load(&mut Decoder::new(&buf)).unwrap();
+        prop_assert_eq!(back.len(), reg.len());
+        for (name, bytes) in &vars {
+            // Later registrations of the same name overwrite earlier ones;
+            // compare against the registry we actually built.
+            prop_assert_eq!(back.get(name).map(|v| &v.value), reg.get(name).map(|v| &v.value));
+            let _ = bytes;
+        }
+    }
+
+    /// Incremental checkpointing (§8 future work, implemented here):
+    /// reconstructing from any delta chain equals the full state at the last
+    /// checkpoint, and unchanged chunks are not re-stored.
+    #[test]
+    fn incremental_reconstructs_exactly(
+        steps in proptest::collection::vec(
+            proptest::collection::btree_map("[a-d]", proptest::collection::vec(any::<u8>(), 0..12), 0..4),
+            1..8,
+        ),
+    ) {
+        let mut saver = IncrementalSaver::new();
+        let mut chain = Vec::new();
+        let mut state: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for step in &steps {
+            for (k, v) in step {
+                state.insert(k.clone(), v.clone());
+            }
+            chain.push(saver.checkpoint(&state));
+        }
+        let rebuilt = IncrementalSaver::reconstruct(&chain).unwrap();
+        prop_assert_eq!(rebuilt, state);
+        // A checkpoint with no changes re-stores no chunk *data* — only the
+        // per-chunk hash metadata travels.
+        let last = chain_last_state(&steps);
+        let empty_delta = saver.checkpoint(&last);
+        prop_assert!(empty_delta.changed.is_empty());
+        let meta: usize = last.keys().map(|k| k.len() + 8).sum();
+        prop_assert_eq!(empty_delta.payload_bytes(), meta);
+    }
+}
+
+fn chain_last_state(
+    steps: &[BTreeMap<String, Vec<u8>>],
+) -> BTreeMap<String, Vec<u8>> {
+    let mut state = BTreeMap::new();
+    for step in steps {
+        for (k, v) in step {
+            state.insert(k.clone(), v.clone());
+        }
+    }
+    state
+}
+
+/// Randomized end-to-end determinism: a ring application with a random
+/// iteration count, checkpoint pragma, and failure point always recovers to
+/// the failure-free result. Runs fewer cases than the pure-data properties
+/// because each case launches real thread jobs.
+mod random_recovery {
+    use super::*;
+    use c3::{C3Config, C3Ctx, C3Error, FailAt, FailurePlan};
+    use mpisim::JobSpec;
+
+    fn ring(ctx: &mut C3Ctx<'_>, iters: u64) -> Result<u64, C3Error> {
+        let mut st = match ctx.take_restored_state() {
+            Some(b) => {
+                let mut d = Decoder::new(&b);
+                (d.u64()?, d.u64()?)
+            }
+            None => (0, 0),
+        };
+        let me = ctx.rank();
+        let n = ctx.nranks();
+        while st.0 < iters {
+            ctx.pragma(|e| {
+                e.u64(st.0);
+                e.u64(st.1);
+            })?;
+            ctx.send((me + 1) % n, 5, &[st.0 * 31 + me as u64])?;
+            let (v, _) = ctx.recv::<u64>(((me + n - 1) % n) as i32, 5)?;
+            st.1 = st.1.wrapping_mul(0x100000001b3).wrapping_add(v[0]);
+            st.0 += 1;
+        }
+        Ok(st.1)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+        #[test]
+        fn random_failure_point_recovers(
+            nranks in 2usize..5,
+            iters in 6u64..14,
+            ckpt in 2u64..5,
+            fail_after in 0u64..6,
+            seed in any::<u64>(),
+        ) {
+            let fail_pragma = ckpt + 1 + fail_after;
+            let spec = JobSpec::new(nranks).seed(seed);
+            let baseline =
+                mpisim::launch(&spec, move |ctx| {
+                    // The raw baseline runs the same logic without C³.
+                    let me = ctx.rank();
+                    let n = ctx.nranks();
+                    let mut iter = 0u64;
+                    let mut sum = 0u64;
+                    while iter < iters {
+                        ctx.send_bytes((me + 1) % n, 5, mpisim::COMM_WORLD, 0,
+                            mpisim::bytes_of(&[iter * 31 + me as u64]))?;
+                        let (b, _) = ctx.recv_bytes(((me + n - 1) % n) as i32, 5, mpisim::COMM_WORLD)?;
+                        let v: Vec<u64> = mpisim::vec_from_bytes(&b);
+                        sum = sum.wrapping_mul(0x100000001b3).wrapping_add(v[0]);
+                        iter += 1;
+                    }
+                    Ok(sum)
+                })
+                .unwrap();
+
+            let dir = std::env::temp_dir().join(format!(
+                "c3-prop-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            let cfg = C3Config::at_pragmas(dir, vec![ckpt]);
+            let plan = FailurePlan {
+                rank: (seed as usize) % nranks,
+                when: FailAt::AfterCommits { commits: 1, pragma: fail_pragma },
+            };
+            let rec = c3::run_job_with_failure(&spec, &cfg, plan, move |ctx| ring(ctx, iters));
+            let rec = rec.unwrap();
+            prop_assert_eq!(rec.handle.results, baseline.results);
+        }
+    }
+}
