@@ -1,0 +1,171 @@
+//! Message-path microbenchmarks: the zero-copy substrate ablations.
+//!
+//! Three families, matching the zero-copy PR's claims:
+//!
+//! * **ping-pong** — steady-state send/recv of a contiguous payload,
+//!   copying (`send_bytes`, caller keeps the buffer) vs zero-copy
+//!   (`send_owned`, ownership circulates between the two ranks);
+//! * **fan-out** — the same buffer to N-1 destinations, one `send_bytes`
+//!   copy per destination vs one shared `Payload` cloned per destination;
+//! * **mailbox depth** — claim latency with many distinct signatures
+//!   queued: exact-signature claims are indexed (flat in depth), wildcard
+//!   claims scan queue fronts (flat in *messages*, linear only in live
+//!   signatures).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpisim::{launch, Envelope, JobSpec, Mailbox, Payload, ANY_SOURCE, ANY_TAG, COMM_WORLD};
+
+const MSG: usize = 65_536;
+const ROUNDS: usize = 128;
+
+fn ping_pong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("message_path/ping_pong");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((MSG * ROUNDS * 2) as u64));
+    g.bench_function("copying", |b| {
+        b.iter(|| {
+            launch(&JobSpec::new(2), |ctx| {
+                let buf = vec![1u8; MSG];
+                let peer = 1 - ctx.rank();
+                let (my_tag, peer_tag) = if ctx.rank() == 0 { (1, 2) } else { (2, 1) };
+                for _ in 0..ROUNDS {
+                    ctx.send_bytes(peer, my_tag, COMM_WORLD, 0, &buf)?;
+                    let (r, _) = ctx.recv_bytes(peer as i32, peer_tag, COMM_WORLD)?;
+                    black_box(r.len());
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("zero_copy", |b| {
+        b.iter(|| {
+            launch(&JobSpec::new(2), |ctx| {
+                // Ownership circulates: each rank sends the buffer it last
+                // received — no payload copies anywhere in the loop.
+                let mut buf = vec![1u8; MSG];
+                let peer = 1 - ctx.rank();
+                let (my_tag, peer_tag) = if ctx.rank() == 0 { (1, 2) } else { (2, 1) };
+                for _ in 0..ROUNDS {
+                    ctx.send_owned(peer, my_tag, COMM_WORLD, 0, buf)?;
+                    let (r, _) = ctx.recv_bytes(peer as i32, peer_tag, COMM_WORLD)?;
+                    buf = r;
+                }
+                black_box(buf.len());
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn fan_out(c: &mut Criterion) {
+    const N: usize = 8;
+    let mut g = c.benchmark_group("message_path/fan_out");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((MSG * (N - 1) * ROUNDS) as u64));
+    g.bench_function("copy_per_destination", |b| {
+        b.iter(|| {
+            launch(&JobSpec::new(N), |ctx| {
+                if ctx.rank() == 0 {
+                    let buf = vec![7u8; MSG];
+                    for _ in 0..ROUNDS {
+                        for dst in 1..N {
+                            ctx.send_bytes(dst, 1, COMM_WORLD, 0, &buf)?;
+                        }
+                    }
+                } else {
+                    for _ in 0..ROUNDS {
+                        let (r, _) = ctx.recv_bytes(0, 1, COMM_WORLD)?;
+                        black_box(r.len());
+                    }
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("shared_payload", |b| {
+        b.iter(|| {
+            launch(&JobSpec::new(N), |ctx| {
+                if ctx.rank() == 0 {
+                    let payload = Payload::from_vec(vec![7u8; MSG]);
+                    for _ in 0..ROUNDS {
+                        for dst in 1..N {
+                            // One buffer, shared by reference across every
+                            // destination's envelope.
+                            ctx.send_payload(dst, 1, COMM_WORLD, 0, payload.clone())?;
+                        }
+                    }
+                } else {
+                    for _ in 0..ROUNDS {
+                        let (r, _) = ctx.recv_payload(0, 1, COMM_WORLD)?;
+                        black_box(r.len());
+                    }
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn env(tag: i32, seq: u64) -> Envelope {
+    Envelope {
+        src: 0,
+        dst: 0,
+        tag,
+        comm: COMM_WORLD,
+        seq,
+        piggyback: 0,
+        depart_vt: 0,
+        payload: Payload::empty(),
+    }
+}
+
+fn mailbox_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("message_path/mailbox");
+    for depth in [16usize, 256, 4096] {
+        // `depth` messages with `depth` distinct signatures queued.
+        g.bench_with_input(BenchmarkId::new("exact_claim_at_depth", depth), &depth, |b, &depth| {
+            let mb = Mailbox::new();
+            for i in 0..depth {
+                mb.deliver(env(i as i32, i as u64));
+            }
+            b.iter(|| {
+                // Claim the "deepest" signature and put it back: O(1) with
+                // the signature index, O(depth) under a linear scan.
+                let e = mb.try_claim(0, depth as i32 - 1, COMM_WORLD).unwrap();
+                mb.deliver(black_box(e));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("wildcard_claim_at_depth", depth), &depth, |b, &depth| {
+            let mb = Mailbox::new();
+            for i in 0..depth {
+                mb.deliver(env(i as i32, i as u64));
+            }
+            b.iter(|| {
+                let e = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+                mb.deliver(black_box(e));
+            })
+        });
+        // Same message count, ONE signature: wildcard claims must stay flat
+        // regardless of queue length.
+        g.bench_with_input(BenchmarkId::new("wildcard_one_signature", depth), &depth, |b, &depth| {
+            let mb = Mailbox::new();
+            for i in 0..depth {
+                mb.deliver(env(1, i as u64));
+            }
+            b.iter(|| {
+                let e = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+                mb.deliver(black_box(e));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ping_pong, fan_out, mailbox_depth);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! A minimal, API-compatible stand-in for the `criterion` crate.
+//!
+//! The build environment has no route to a crates registry, so benches link
+//! against this shim: same macros and types, a much simpler measurement
+//! loop (calibrated wall-clock timing, median-of-samples reporting, no
+//! statistical regression machinery). Good enough to compare alternatives
+//! within one run, which is all the ablation benches need.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement state handed to bench closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    pub(crate) median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median ns/iteration over several samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that takes ≥ ~2ms.
+        let mut n = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(2) || n >= 1 << 24 {
+                break;
+            }
+            n *= 8;
+        }
+        // Sample.
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / n as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+const SAMPLES: usize = 7;
+
+/// Throughput annotation for a benchmark (reported alongside time).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark identifier (`name/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new<N: Display, P: Display>(name: N, param: P) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { _c: self, name, throughput: None }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's measurement is calibrated.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchId,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_bench_id()), self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Things accepted where criterion takes a benchmark name.
+pub trait IntoBenchId {
+    /// Render to the printable id.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { median_ns: 0.0 };
+    f(&mut b);
+    let mut line = format!("{label:<52} {:>12.1} ns/iter", b.median_ns);
+    if let Some(t) = throughput {
+        match t {
+            Throughput::Bytes(n) if b.median_ns > 0.0 => {
+                let gbs = n as f64 / b.median_ns;
+                line.push_str(&format!("   {gbs:>8.3} GB/s"));
+            }
+            Throughput::Elements(n) if b.median_ns > 0.0 => {
+                let me = n as f64 * 1e3 / b.median_ns;
+                line.push_str(&format!("   {me:>8.3} Melem/s"));
+            }
+            _ => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// Declare a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

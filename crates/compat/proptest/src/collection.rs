@@ -1,0 +1,89 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Accepted size specifications for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below(self.max - self.min)
+    }
+}
+
+/// Strategy producing `Vec`s of an element strategy.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// Build a `Vec` strategy (`proptest::collection::vec`).
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing `BTreeMap`s from key/value strategies.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+/// Build a `BTreeMap` strategy (`proptest::collection::btree_map`).
+/// Duplicate generated keys collapse, so the result may be smaller than the
+/// requested size (the real crate re-draws; the difference is immaterial for
+/// the properties here).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut m = BTreeMap::new();
+        for _ in 0..n {
+            m.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        m
+    }
+}

@@ -1,0 +1,19 @@
+//! Sampling helpers (`proptest::sample`).
+
+/// An arbitrary index into a collection whose size is only known at use
+/// time: `idx.index(len)` maps uniformly into `[0, len)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Construct from raw randomness (used by the `Arbitrary` impl).
+    pub fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Project into `[0, size)`; `size` must be nonzero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.0 % size as u64) as usize
+    }
+}

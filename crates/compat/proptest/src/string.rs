@@ -1,0 +1,158 @@
+//! String strategies: `&str` patterns interpreted as a small regex subset.
+//!
+//! Supported syntax (all this workspace uses): literal characters, character
+//! classes `[a-z0-9_]` (ranges and singletons), and repetition counts
+//! `{n}` / `{m,n}` applying to the preceding atom. A bare class without a
+//! count generates exactly one character, as in the real crate.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional repetition `{m}` or `{m,n}`.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .expect("unterminated repetition")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition lower bound"),
+                    n.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = (rng.next_u64() % total as u64) as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick).expect("valid char in class");
+                }
+                pick -= span;
+            }
+            unreachable!("pick within total")
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = p.min + rng.below(p.max - p.min + 1);
+            for _ in 0..n {
+                out.push(gen_char(&p.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_count() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = "[ -~]{0,64}".generate(&mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn bare_class_is_one_char() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..50 {
+            let s = "[a-d]".generate(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='d').contains(&s.chars().next().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Test-runner configuration and the deterministic generator.
+
+/// Configuration for a `proptest!` block. Only `cases` is honored by the
+/// shim; the other fields exist so struct-update syntax against the real
+/// crate's common fields keeps compiling.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted, unused (no shrinking in the shim).
+    pub max_shrink_iters: u32,
+    /// Accepted, unused.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the suite quick while
+        // still exercising the generators broadly. Tests that need fewer
+        // (e.g. job-launching properties) override via proptest_config.
+        ProptestConfig { cases: 64, max_shrink_iters: 0, max_global_rejects: 0 }
+    }
+}
+
+/// Deterministic per-test seed derived from the test name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The generator handed to strategies (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Construct from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform usize in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}

@@ -40,54 +40,58 @@ fn put(ctx: &mut C3Ctx<'_>, version: u64, name: &str, bytes: &[u8]) -> Result<()
     Ok(())
 }
 
-/// Write the recovery-line sections.
+/// Write one section from a pooled encoder and return its buffer to the
+/// scratch pool — the steady-state checkpoint path allocates nothing once
+/// the first checkpoint has sized the pool's buffers.
+fn put_pooled(ctx: &mut C3Ctx<'_>, version: u64, name: &str, e: Encoder) -> Result<()> {
+    put(ctx, version, name, e.as_bytes())?;
+    e.recycle();
+    Ok(())
+}
+
+/// Write the recovery-line sections. Every section encodes into a buffer
+/// leased from `statesave::memmgr`'s scratch pool.
 pub(crate) fn write_line_sections(ctx: &mut C3Ctx<'_>, version: u64, app_state: Vec<u8>) -> Result<()> {
     put(ctx, version, "app", &app_state)?;
+    statesave::scratch().give_back(app_state);
 
-    let mut e = Encoder::new();
+    let mut e = Encoder::pooled();
     ctx.heap.save(&mut e);
-    let heap = e.finish();
-    put(ctx, version, "heap", &heap)?;
+    put_pooled(ctx, version, "heap", e)?;
 
-    let mut e = Encoder::new();
+    let mut e = Encoder::pooled();
     ctx.vars.save(&mut e);
-    let vars = e.finish();
-    put(ctx, version, "vars", &vars)?;
+    put_pooled(ctx, version, "vars", e)?;
 
-    let mut e = Encoder::new();
+    let mut e = Encoder::pooled();
     e.u64(ctx.rank() as u64);
     e.u64(ctx.nranks() as u64);
     e.u64(ctx.epoch);
     e.u64(ctx.coll_calls);
     e.save(&ctx.attached_buffer.map(|b| b as u64));
     ctx.counters.save(&mut e);
-    let mpi = e.finish();
-    put(ctx, version, "mpi", &mpi)?;
+    put_pooled(ctx, version, "mpi", e)?;
 
-    let mut e = Encoder::new();
+    let mut e = Encoder::pooled();
     ctx.tables.save(&mut e);
-    let tables = e.finish();
-    put(ctx, version, "tables", &tables)?;
+    put_pooled(ctx, version, "tables", e)?;
 
-    let mut e = Encoder::new();
+    let mut e = Encoder::pooled();
     ctx.comms.save(&mut e);
-    let comms = e.finish();
-    put(ctx, version, "comms", &comms)?;
+    put_pooled(ctx, version, "comms", e)?;
 
-    let mut e = Encoder::new();
+    let mut e = Encoder::pooled();
     ctx.early.save(&mut e);
-    let early = e.finish();
-    put(ctx, version, "early", &early)?;
+    put_pooled(ctx, version, "early", e)?;
     Ok(())
 }
 
 /// Write the commit sections and the commit marker.
 pub(crate) fn write_commit_sections(ctx: &mut C3Ctx<'_>, version: u64) -> Result<()> {
-    let mut e = Encoder::new();
+    let mut e = Encoder::pooled();
     ctx.replay.save(&mut e);
     ctx.reqs.save(ctx.line_next_req, &mut e);
-    let late = e.finish();
-    put(ctx, version, "late", &late)?;
+    put_pooled(ctx, version, "late", e)?;
     if ctx.cfg.write_disk {
         ctx.store.mark_committed(version, ctx.rank()).map_err(C3Error::Io)?;
     }

@@ -26,7 +26,7 @@
 use crate::api::C3Ctx;
 use crate::registries::StreamKind;
 use crate::Result;
-use mpisim::{fold_into, BasicType, ReduceOp, COMM_WORLD};
+use mpisim::{fold_into, BasicType, Payload, ReduceOp, COMM_WORLD};
 
 impl<'a> C3Ctx<'a> {
     /// Take the next deterministic collective-instance number on the world
@@ -37,19 +37,29 @@ impl<'a> C3Ctx<'a> {
         c
     }
 
-    /// Broadcast `data` from `root` to every rank.
+    /// One pooled copy of `bytes`, shared by reference across a fan-out.
+    pub(crate) fn shared_payload(&self, bytes: &[u8]) -> Payload {
+        self.mpi.network().pool().payload_from(bytes)
+    }
+
+    /// Broadcast `data` from `root` to every rank. The root's fan-out shares
+    /// a single buffer across all destinations.
     pub fn bcast(&mut self, root: usize, data: &mut Vec<u8>) -> Result<()> {
         let call = self.next_call();
         let me = self.rank();
         let n = self.nranks();
         if me == root {
-            let payload = std::mem::take(data);
+            // Ownership transfer into a shared payload: no copy, one buffer
+            // for all n-1 envelopes; the root's copy is restored from the
+            // same buffer afterwards (in place when nothing is still in
+            // flight).
+            let payload = Payload::from_vec(std::mem::take(data));
             for dst in 0..n {
                 if dst != root {
-                    self.stream_send(dst, COMM_WORLD.0, StreamKind::Coll { call }, &payload)?;
+                    self.stream_send_payload(dst, COMM_WORLD.0, StreamKind::Coll { call }, payload.clone())?;
                 }
             }
-            *data = payload;
+            *data = payload.into_vec();
         } else {
             *data = self.stream_recv_coll(root, COMM_WORLD.0, call)?;
         }
@@ -104,19 +114,22 @@ impl<'a> C3Ctx<'a> {
     }
 
     /// All-gather: every rank receives every rank's buffer (rank-ordered).
+    /// The contribution is copied once into a shared payload; the fan-out
+    /// and the self-slot all reference that one buffer.
     pub fn allgather(&mut self, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
         let call = self.next_call();
         let me = self.rank();
         let n = self.nranks();
+        let payload = self.shared_payload(mine);
         for dst in 0..n {
             if dst != me {
-                self.stream_send(dst, COMM_WORLD.0, StreamKind::Coll { call }, mine)?;
+                self.stream_send_payload(dst, COMM_WORLD.0, StreamKind::Coll { call }, payload.clone())?;
             }
         }
         let mut out = Vec::with_capacity(n);
         for src in 0..n {
             if src == me {
-                out.push(mine.to_vec());
+                out.push(payload.clone().into_vec());
             } else {
                 out.push(self.stream_recv_coll(src, COMM_WORLD.0, call)?);
             }
@@ -172,21 +185,24 @@ impl<'a> C3Ctx<'a> {
         match self.gather(root, data)? {
             None => Ok(None),
             Some(parts) => {
-                let mut acc = parts[0].clone();
-                for p in &parts[1..] {
-                    fold_into(op, &mut acc, p, ty).map_err(crate::api::C3Error::Mpi)?;
+                let mut parts = parts.into_iter();
+                let mut acc = parts.next().expect("gather at root is nonempty");
+                for p in parts {
+                    fold_into(op, &mut acc, &p, ty).map_err(crate::api::C3Error::Mpi)?;
                 }
                 Ok(Some(acc))
             }
         }
     }
 
-    /// All-reduce: all-to-all streams, every rank folds in rank order.
+    /// All-reduce: all-to-all streams, every rank folds in rank order. The
+    /// fold is seeded by ownership transfer of the first contribution — no
+    /// clone.
     pub fn allreduce(&mut self, data: &[u8], ty: BasicType, op: &ReduceOp) -> Result<Vec<u8>> {
-        let parts = self.allgather(data)?;
-        let mut acc = parts[0].clone();
-        for p in &parts[1..] {
-            fold_into(op, &mut acc, p, ty).map_err(crate::api::C3Error::Mpi)?;
+        let mut parts = self.allgather(data)?.into_iter();
+        let mut acc = parts.next().expect("allgather is nonempty");
+        for p in parts {
+            fold_into(op, &mut acc, &p, ty).map_err(crate::api::C3Error::Mpi)?;
         }
         Ok(acc)
     }
@@ -211,8 +227,9 @@ impl<'a> C3Ctx<'a> {
         let call = self.next_call();
         let me = self.rank();
         let n = self.nranks();
+        let payload = self.shared_payload(data);
         for dst in me + 1..n {
-            self.stream_send(dst, COMM_WORLD.0, StreamKind::Coll { call }, data)?;
+            self.stream_send_payload(dst, COMM_WORLD.0, StreamKind::Coll { call }, payload.clone())?;
         }
         let mut acc: Option<Vec<u8>> = None;
         for src in 0..me {

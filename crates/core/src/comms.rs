@@ -425,21 +425,25 @@ impl<'a> C3Ctx<'a> {
     // Collectives on a derived communicator (local-rank ordered).
     // ------------------------------------------------------------------
 
-    /// All-gather over `c` (local-rank order).
+    /// All-gather over `c` (local-rank order). The contribution is copied
+    /// once into a shared pooled payload: the per-member fan-out and the
+    /// self-slot all reference that single buffer (previously every send
+    /// copied and the self-slot was a separate `to_vec`).
     pub fn allgather_on(&mut self, c: C3Comm, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
         let members = self.comm_members(c)?;
         let wire = self.comm_entry(c)?.wire;
         let call = self.comm_next_call(c)?;
         let me_world = self.rank();
+        let payload = self.shared_payload(mine);
         for &dst in &members {
             if dst != me_world {
-                self.stream_send(dst, wire, StreamKind::Coll { call }, mine)?;
+                self.stream_send_payload(dst, wire, StreamKind::Coll { call }, payload.clone())?;
             }
         }
         let mut out = Vec::with_capacity(members.len());
         for &src in &members {
             if src == me_world {
-                out.push(mine.to_vec());
+                out.push(payload.clone().into_vec());
             } else {
                 out.push(self.stream_recv_coll(src, wire, call)?);
             }
@@ -462,20 +466,23 @@ impl<'a> C3Ctx<'a> {
             .get(root)
             .ok_or_else(|| C3Error::Protocol(format!("no local rank {root} in {c:?}")))?;
         if me_world == root_world {
-            let payload = std::mem::take(data);
+            // Ownership transfer into one shared buffer for the whole
+            // fan-out; restored to the caller afterwards.
+            let payload = mpisim::Payload::from_vec(std::mem::take(data));
             for &dst in &members {
                 if dst != me_world {
-                    self.stream_send(dst, wire, StreamKind::Coll { call }, &payload)?;
+                    self.stream_send_payload(dst, wire, StreamKind::Coll { call }, payload.clone())?;
                 }
             }
-            *data = payload;
+            *data = payload.into_vec();
         } else {
             *data = self.stream_recv_coll(root_world, wire, call)?;
         }
         Ok(())
     }
 
-    /// All-reduce over `c` (fold in local-rank order).
+    /// All-reduce over `c` (fold in local-rank order). The fold is seeded by
+    /// ownership transfer of the first contribution instead of a clone.
     pub fn allreduce_on(
         &mut self,
         c: C3Comm,
@@ -483,10 +490,10 @@ impl<'a> C3Ctx<'a> {
         ty: BasicType,
         op: &ReduceOp,
     ) -> Result<Vec<u8>> {
-        let parts = self.allgather_on(c, data)?;
-        let mut acc = parts[0].clone();
-        for p in &parts[1..] {
-            fold_into(op, &mut acc, p, ty).map_err(C3Error::Mpi)?;
+        let mut parts = self.allgather_on(c, data)?.into_iter();
+        let mut acc = parts.next().expect("allgather includes self");
+        for p in parts {
+            fold_into(op, &mut acc, &p, ty).map_err(C3Error::Mpi)?;
         }
         Ok(acc)
     }

@@ -13,8 +13,8 @@ use crate::requests::{C3Req, C3ReqKind, C3ReqTable, NondetEvent};
 use crate::tables::HandleTables;
 use crate::Result;
 use mpisim::{
-    bytes_of, vec_from_bytes, CommId, DatatypeHandle, MpiError, Pod, RankCtx, Status, ANY_SOURCE,
-    ANY_TAG, COMM_CTRL, COMM_WORLD,
+    bytes_of, vec_from_bytes, CommId, DatatypeHandle, MpiError, Payload, Pod, RankCtx, Status,
+    ANY_SOURCE, ANY_TAG, COMM_CTRL, COMM_WORLD,
 };
 use statesave::codec::Encoder;
 use statesave::{CkptHeap, CkptStore, VariableRegistry};
@@ -242,12 +242,30 @@ impl<'a> C3Ctx<'a> {
     // ==================================================================
 
     /// Protocol-wrapped send of one logical stream (`chkpt_MPI_Send`).
+    /// Copies `payload` once into a pool-leased buffer; use
+    /// [`C3Ctx::stream_send_payload`] (or build the payload once and clone
+    /// it) when the same bytes fan out to several destinations.
     pub(crate) fn stream_send(
         &mut self,
         dst: usize,
         comm: u32,
         kind: StreamKind,
         payload: &[u8],
+    ) -> Result<()> {
+        let p = self.mpi.network().pool().payload_from(payload);
+        self.stream_send_payload(dst, comm, kind, p)
+    }
+
+    /// Protocol-wrapped zero-copy send of one logical stream: the payload
+    /// view transfers (or shares) its buffer without copying. All protocol
+    /// bookkeeping — suppression during restore, piggyback stamping,
+    /// counters — is identical to [`C3Ctx::stream_send`].
+    pub(crate) fn stream_send_payload(
+        &mut self,
+        dst: usize,
+        comm: u32,
+        kind: StreamKind,
+        payload: Payload,
     ) -> Result<()> {
         self.drain_control()?;
         if self.mode == Mode::Restore {
@@ -264,7 +282,7 @@ impl<'a> C3Ctx<'a> {
         }
         let pig = piggyback::encode(PigData::of(self.epoch, self.mode));
         let (mcomm, mtag) = transport(comm, kind);
-        self.mpi.send_bytes(dst, mtag, mcomm, pig, payload)?;
+        self.mpi.send_payload(dst, mtag, mcomm, pig, payload)?;
         self.counters.sent[dst] += 1;
         self.stats.msgs_sent += 1;
         Ok(())
@@ -931,7 +949,9 @@ impl<'a> C3Ctx<'a> {
         let policy_applies = self.cfg.initiator.is_none_or(|r| r == self.mpi.rank());
         let force = policy_applies && self.cfg.policy.wants(self.pragma_count, self.last_ckpt);
         if force || self.ci.any(self.epoch + 1) {
-            let mut enc = Encoder::new();
+            // Pooled: the buffer is returned to the scratch pool after the
+            // `app` section is written (see `ckpt::write_line_sections`).
+            let mut enc = Encoder::pooled();
             save(&mut enc);
             self.start_checkpoint(enc.finish())?;
             return Ok(true);

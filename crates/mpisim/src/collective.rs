@@ -118,22 +118,30 @@ impl RankCtx {
         while mask < n {
             if relrank & mask != 0 {
                 let src = (relrank - mask + root) % n;
-                let (bytes, _st) = self.recv_bytes(src as i32, tag, shadow)?;
-                root_pig = bytes[0];
-                *data = bytes[1..].to_vec();
+                let (payload, _st) = self.recv_payload(src as i32, tag, shadow)?;
+                root_pig = payload[0];
+                // Slice the framing byte off as a view; materializing it is
+                // an in-place compaction (no allocation) when this rank
+                // holds the last reference.
+                *data = payload.view(1, payload.len() - 1).into_vec();
                 break;
             }
             mask <<= 1;
         }
-        // Send phase.
-        let mut payload = Vec::with_capacity(1 + data.len());
-        payload.push(root_pig);
-        payload.extend_from_slice(data);
+        // Send phase: one pooled buffer, shared by reference across every
+        // child — the fan-out allocates the payload once, not once per
+        // destination.
+        let payload = {
+            let mut lease = self.network().pool().lease(1 + data.len());
+            lease.push(root_pig);
+            lease.extend_from_slice(data);
+            lease.freeze()
+        };
         mask >>= 1;
         while mask > 0 {
             if relrank + mask < n {
                 let dst = (relrank + mask + root) % n;
-                self.send_bytes(dst, tag, shadow, root_pig, &payload)?;
+                self.send_payload(dst, tag, shadow, root_pig, payload.clone())?;
             }
             mask >>= 1;
         }
@@ -264,9 +272,12 @@ impl RankCtx {
         match gathered {
             None => Ok(None),
             Some(items) => {
-                let mut acc = items[0].1.clone();
-                for (_, d) in &items[1..] {
-                    fold_into(op, &mut acc, d, ty)?;
+                // Seed the fold with the first contribution by ownership
+                // transfer — no clone.
+                let mut iter = items.into_iter();
+                let (_, mut acc) = iter.next().expect("gather at root is nonempty");
+                for (_, d) in iter {
+                    fold_into(op, &mut acc, &d, ty)?;
                 }
                 Ok(Some(acc))
             }
@@ -288,12 +299,13 @@ impl RankCtx {
         let gathered = self.gather(comm, 0, data, my_pig)?;
         let mut bundle = match gathered {
             Some(items) => {
-                let mut acc = items[0].1.clone();
-                for (_, d) in &items[1..] {
-                    fold_into(op, &mut acc, d, ty)?;
-                }
                 let pigs: Vec<(CollPig, Vec<u8>)> =
                     items.iter().map(|(cp, _)| (*cp, Vec::new())).collect();
+                let mut iter = items.into_iter();
+                let (_, mut acc) = iter.next().expect("gather at root is nonempty");
+                for (_, d) in iter {
+                    fold_into(op, &mut acc, &d, ty)?;
+                }
                 let mut b = encode_streams(&pigs);
                 b.extend_from_slice(&(acc.len() as u32).to_le_bytes());
                 b.extend_from_slice(&acc);

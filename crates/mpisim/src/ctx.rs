@@ -6,6 +6,7 @@ use crate::envelope::Envelope;
 use crate::error::{MpiError, Result};
 use crate::network::Network;
 use crate::op::OpTable;
+use crate::payload::Payload;
 use crate::pod::{self, Pod};
 use crate::request::{ReqId, RequestTable, Status};
 use crate::{CommId, Rank, Tag, COMM_WORLD};
@@ -104,6 +105,10 @@ impl RankCtx {
 
     /// Send raw bytes to `dst` with full control over communicator and the
     /// protocol piggyback byte. Standard-mode buffered: completes locally.
+    ///
+    /// Copies `payload` once into a pool-leased buffer (the caller keeps its
+    /// slice). For copy-free sends, use [`RankCtx::send_owned`] or
+    /// [`RankCtx::send_payload`].
     pub fn send_bytes(
         &mut self,
         dst: Rank,
@@ -111,6 +116,34 @@ impl RankCtx {
         comm: CommId,
         piggyback: u8,
         payload: &[u8],
+    ) -> Result<()> {
+        let p = self.net.pool().payload_from(payload);
+        self.send_payload(dst, tag, comm, piggyback, p)
+    }
+
+    /// Send an owned buffer: ownership transfers into the substrate with
+    /// zero copies.
+    pub fn send_owned(
+        &mut self,
+        dst: Rank,
+        tag: Tag,
+        comm: CommId,
+        piggyback: u8,
+        payload: Vec<u8>,
+    ) -> Result<()> {
+        self.send_payload(dst, tag, comm, piggyback, Payload::from_vec(payload))
+    }
+
+    /// Send a [`Payload`] view: the zero-copy primitive every other send
+    /// path lowers to. Cloning the payload before the call lets one buffer
+    /// fan out to many destinations (bcast, allgather).
+    pub fn send_payload(
+        &mut self,
+        dst: Rank,
+        tag: Tag,
+        comm: CommId,
+        piggyback: u8,
+        payload: Payload,
     ) -> Result<()> {
         self.check_abort()?;
         if dst >= self.nranks {
@@ -130,7 +163,7 @@ impl RankCtx {
             seq,
             piggyback,
             depart_vt: self.vclock,
-            payload: payload.to_vec().into_boxed_slice(),
+            payload,
         });
         Ok(())
     }
@@ -141,6 +174,11 @@ impl RankCtx {
     }
 
     /// Send `count` elements of derived datatype `dt` gathered from `buf`.
+    ///
+    /// Datatypes whose layout is identical to the raw buffer (contiguous,
+    /// hole-free, in-order) skip `pack()` entirely: the user buffer is
+    /// borrowed directly into the pooled send path, avoiding the
+    /// intermediate packed vector.
     #[allow(clippy::too_many_arguments)] // mirrors MPI_Send's argument list
     pub fn send_dt(
         &mut self,
@@ -152,16 +190,31 @@ impl RankCtx {
         count: usize,
         dt: DatatypeHandle,
     ) -> Result<()> {
+        if let Some(extent) = self.types.identity_span(dt)? {
+            let need = count * extent;
+            if need > buf.len() {
+                return Err(MpiError::Truncated { expected: buf.len(), got: need });
+            }
+            return self.send_bytes(dst, tag, comm, piggyback, &buf[..need]);
+        }
         let packed = self.types.pack(buf, count, dt)?;
-        self.send_bytes(dst, tag, comm, piggyback, &packed)
+        self.send_owned(dst, tag, comm, piggyback, packed)
     }
 
     /// Blocking receive of raw bytes matching `(src, tag, comm)` (wildcards
     /// allowed). Returns the payload and status (which carries the sender's
-    /// piggyback byte).
+    /// piggyback byte). Zero-copy when this rank holds the only reference to
+    /// the buffer (the steady-state point-to-point case).
     pub fn recv_bytes(&mut self, src: i32, tag: Tag, comm: CommId) -> Result<(Vec<u8>, Status)> {
+        let (payload, st) = self.recv_payload(src, tag, comm)?;
+        Ok((payload.into_vec(), st))
+    }
+
+    /// Blocking receive returning the shared [`Payload`] view directly —
+    /// lets callers slice framing bytes off without materializing a vector.
+    pub fn recv_payload(&mut self, src: i32, tag: Tag, comm: CommId) -> Result<(Payload, Status)> {
         let req = self.irecv_bytes(src, tag, comm)?;
-        let (st, payload) = self.wait_payload(req)?;
+        let (st, payload) = self.wait_payload_view(req)?;
         Ok((payload.expect("receive yields payload"), st))
     }
 
@@ -273,6 +326,13 @@ impl RankCtx {
     /// Block until a request completes; consume it, returning the payload
     /// for receives.
     pub fn wait_payload(&mut self, req: ReqId) -> Result<(Status, Option<Vec<u8>>)> {
+        let (st, payload) = self.wait_payload_view(req)?;
+        Ok((st, payload.map(Payload::into_vec)))
+    }
+
+    /// Block until a request completes; consume it, returning the shared
+    /// payload view for receives.
+    pub fn wait_payload_view(&mut self, req: ReqId) -> Result<(Status, Option<Payload>)> {
         loop {
             self.check_abort()?;
             self.reqs.progress(self.net.mailbox(self.rank));
@@ -280,7 +340,7 @@ impl RankCtx {
                 None => return Err(MpiError::InvalidArg(format!("unknown request {req:?}"))),
                 Some(true) => {
                     let (st, env) = self.reqs.take(req).expect("done request collectable");
-                    return Ok(self.finish(st, env));
+                    return Ok(self.finish_view(st, env));
                 }
                 Some(false) => {
                     self.net.mailbox(self.rank).wait(POLL);
@@ -358,10 +418,15 @@ impl RankCtx {
     }
 
     fn finish(&mut self, st: Status, env: Option<Envelope>) -> (Status, Option<Vec<u8>>) {
+        let (st, payload) = self.finish_view(st, env);
+        (st, payload.map(Payload::into_vec))
+    }
+
+    fn finish_view(&mut self, st: Status, env: Option<Envelope>) -> (Status, Option<Payload>) {
         match env {
             Some(e) => {
                 self.note_arrival(&e);
-                (st, Some(e.payload.into_vec()))
+                (st, Some(e.payload))
             }
             None => (st, None),
         }
@@ -370,5 +435,89 @@ impl RankCtx {
     fn note_arrival(&mut self, env: &Envelope) {
         let arrive = env.depart_vt + self.net.cluster().transfer_ns(env.payload.len());
         self.vclock = self.vclock.max(arrive);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ClusterModel, ReorderModel};
+    use crate::ANY_SOURCE;
+
+    fn pair() -> (RankCtx, RankCtx) {
+        let net = Arc::new(Network::new(2, ClusterModel::ideal(), ReorderModel::None, 1));
+        (RankCtx::new(0, Arc::clone(&net)), RankCtx::new(1, net))
+    }
+
+    #[test]
+    fn send_owned_transfers_the_buffer_without_copying() {
+        let (mut tx, mut rx) = pair();
+        let buf = vec![9u8; 10_000];
+        let ptr = buf.as_ptr();
+        tx.send_owned(1, 3, COMM_WORLD, 0, buf).unwrap();
+        // The envelope in the mailbox references the sender's allocation.
+        let (payload, st) = rx.recv_payload(0, 3, COMM_WORLD).unwrap();
+        assert_eq!(payload.ptr(), ptr, "send_owned must not copy the payload");
+        assert_eq!(payload.ref_count(), 1);
+        assert_eq!(st.bytes, 10_000);
+        // And the receiver can take the very same allocation back out.
+        let bytes = payload.into_vec();
+        assert_eq!(bytes.as_ptr(), ptr, "unique receive must not copy either");
+        assert_eq!(bytes.len(), 10_000);
+    }
+
+    #[test]
+    fn fan_out_shares_one_buffer_across_destinations() {
+        let n = 8;
+        let net = Arc::new(Network::new(n, ClusterModel::ideal(), ReorderModel::None, 1));
+        let mut tx = RankCtx::new(0, Arc::clone(&net));
+        let payload = net.pool().payload_from(&[7u8; 4096]);
+        let ptr = payload.ptr();
+        for dst in 1..n {
+            tx.send_payload(dst, 1, COMM_WORLD, 0, payload.clone()).unwrap();
+        }
+        // One buffer, n references: the local handle plus one per mailbox.
+        assert_eq!(payload.ref_count(), n);
+        for dst in 1..n {
+            let mut rx = RankCtx::new(dst, Arc::clone(&net));
+            let (p, _st) = rx.recv_payload(0, 1, COMM_WORLD).unwrap();
+            assert_eq!(p.ptr(), ptr, "rank {dst} must share the broadcast buffer");
+        }
+        // All mailbox references released; the sole handle remains.
+        assert_eq!(payload.ref_count(), 1);
+    }
+
+    #[test]
+    fn pooled_send_buffers_are_recycled() {
+        let (mut tx, mut rx) = pair();
+        for i in 0..16 {
+            tx.send_bytes(1, 1, COMM_WORLD, 0, &[i as u8; 2000]).unwrap();
+            // Receive as a view and drop it: the pooled buffer returns.
+            let (p, _) = rx.recv_payload(ANY_SOURCE, 1, COMM_WORLD).unwrap();
+            assert_eq!(p[0], i as u8);
+        }
+        let (hits, misses, recycled) = tx.network().pool().stats();
+        assert!(hits >= 15, "expected lease reuse, got hits={hits} misses={misses}");
+        assert!(recycled >= 15);
+    }
+
+    #[test]
+    fn contiguous_datatype_send_skips_pack() {
+        let (mut tx, mut rx) = pair();
+        let c = tx.types.commit(crate::Datatype::Contiguous { count: 4, child: crate::DT_F64 }).unwrap();
+        assert_eq!(tx.types.identity_span(c).unwrap(), Some(32));
+        let data: Vec<f64> = (0..8).map(|x| x as f64).collect();
+        tx.send_dt(1, 2, COMM_WORLD, 0, pod::bytes_of(&data), 2, c).unwrap();
+        let (bytes, _) = rx.recv_bytes(0, 2, COMM_WORLD).unwrap();
+        assert_eq!(pod::vec_from_bytes::<f64>(&bytes), data);
+        // A strided (non-identity) type still packs correctly.
+        let v = tx
+            .types
+            .commit(crate::Datatype::Vector { count: 2, blocklen: 1, stride: 2, child: crate::DT_F64 })
+            .unwrap();
+        assert_eq!(tx.types.identity_span(v).unwrap(), None);
+        tx.send_dt(1, 2, COMM_WORLD, 0, pod::bytes_of(&data), 1, v).unwrap();
+        let (bytes, _) = rx.recv_bytes(0, 2, COMM_WORLD).unwrap();
+        assert_eq!(pod::vec_from_bytes::<f64>(&bytes), vec![0.0, 2.0]);
     }
 }

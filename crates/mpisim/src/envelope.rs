@@ -1,5 +1,6 @@
 //! Message envelopes and matching signatures.
 
+use crate::payload::Payload;
 use crate::{CommId, Rank, Tag};
 
 /// The matching signature of a message: `(source, tag, communicator)`.
@@ -19,6 +20,9 @@ pub struct Signature {
 }
 
 /// A message in flight or in a mailbox.
+///
+/// Cloning an envelope is cheap: the payload is a ref-counted view, so a
+/// broadcast fan-out shares one buffer across every destination's envelope.
 #[derive(Clone, Debug)]
 pub struct Envelope {
     /// World rank of the sender.
@@ -39,8 +43,8 @@ pub struct Envelope {
     pub piggyback: u8,
     /// Virtual departure time (ns) under the cluster model.
     pub depart_vt: u64,
-    /// The (packed) message payload.
-    pub payload: Box<[u8]>,
+    /// The (packed) message payload — a shared, zero-copy view.
+    pub payload: Payload,
 }
 
 impl Envelope {
@@ -74,7 +78,7 @@ mod tests {
             seq: 0,
             piggyback: 0,
             depart_vt: 0,
-            payload: Box::new([]),
+            payload: Payload::empty(),
         }
     }
 

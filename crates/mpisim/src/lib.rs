@@ -40,6 +40,7 @@ pub mod error;
 pub mod mailbox;
 pub mod network;
 pub mod op;
+pub mod payload;
 pub mod pod;
 pub mod request;
 pub mod world;
@@ -51,7 +52,9 @@ pub use datatype::{
 };
 pub use envelope::{Envelope, Signature};
 pub use error::MpiError;
+pub use mailbox::{Mailbox, MailboxGuard};
 pub use network::{ClusterModel, Network, ReorderModel};
+pub use payload::{BufferPool, Lease, Payload};
 pub use op::{
     apply_op, lookup_named_op, register_named_op, OpHandle, OpTable, ReduceOp, UserOpFn, OP_MAX,
     OP_MIN, OP_PROD, OP_SUM,

@@ -1,22 +1,116 @@
-//! Per-rank mailboxes: arrival queues with MPI matching.
+//! Per-rank mailboxes: signature-indexed arrival queues with MPI matching.
 //!
 //! Each rank owns one mailbox. Senders push envelopes (possibly through the
 //! network's reordering model); the owning rank matches them against posted
-//! receives. Matching is performed under the mailbox lock: for a posted
-//! receive, the first envelope in *arrival order* whose signature matches is
-//! claimed. Together with the posted-order scan in the request engine this
-//! reproduces MPI's matching rules.
+//! receives. The mailbox is indexed by message [`Signature`]
+//! (`(src, tag, comm)`): each signature gets its own FIFO queue, and every
+//! arrival is stamped with a mailbox-global arrival counter.
+//!
+//! * An **exact-signature** receive is O(1): one hash lookup, pop the
+//!   queue's front (per-signature FIFO is the queue order).
+//! * A **wildcard** receive (`ANY_SOURCE`/`ANY_TAG`) walks the queue
+//!   *fronts* in ascending arrival order (a `BTreeMap` keyed by each front's
+//!   arrival stamp) and claims the first match — the first matching message
+//!   in true arrival order, exactly what the old linear scan returned, but
+//!   stopping at the first hit instead of scanning O(#queued messages). A
+//!   full wildcard on an active communicator typically terminates at the
+//!   very first front.
+//!
+//! Together with the posted-order scan in the request engine this reproduces
+//! MPI's matching rules.
 
-use crate::envelope::Envelope;
-use crate::{CommId, Tag};
-use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use crate::envelope::{Envelope, Signature};
+use crate::{CommId, Rank, Tag, ANY_SOURCE, ANY_TAG};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
+
+#[derive(Debug)]
+struct Stamped {
+    arrival: u64,
+    env: Envelope,
+}
+
+/// The state under the mailbox lock.
+///
+/// Invariant: `fronts` holds exactly one entry per non-empty queue, keyed by
+/// that queue's front arrival stamp (stamps are unique); emptied queues are
+/// removed from both maps.
+#[derive(Debug, Default)]
+struct Shelves {
+    /// Per-signature FIFO queues.
+    queues: HashMap<Signature, VecDeque<Stamped>>,
+    /// Arrival stamp of each live queue's front envelope → its signature.
+    /// Iterating this in key order visits queue heads oldest-first.
+    fronts: BTreeMap<u64, Signature>,
+    /// Mailbox-global arrival counter (total ordering of deliveries).
+    next_arrival: u64,
+    /// Total queued envelopes across all signatures.
+    total: usize,
+}
+
+fn sig_matches(sig: &Signature, src: i32, tag: Tag, comm: CommId) -> bool {
+    sig.comm == comm
+        && (src == ANY_SOURCE || sig.src == src as Rank)
+        && (tag == ANY_TAG || sig.tag == tag)
+}
+
+impl Shelves {
+    fn push(&mut self, env: Envelope) {
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        self.total += 1;
+        let sig = env.signature();
+        let q = self.queues.entry(sig).or_default();
+        if q.is_empty() {
+            self.fronts.insert(arrival, sig);
+        }
+        q.push_back(Stamped { arrival, env });
+    }
+
+    /// The matching signature whose front envelope arrived earliest.
+    fn best_signature(&self, src: i32, tag: Tag, comm: CommId) -> Option<Signature> {
+        if src != ANY_SOURCE && tag != ANY_TAG {
+            // Exact signature: single hash lookup.
+            let sig = Signature { src: src as Rank, tag, comm };
+            return self.queues.contains_key(&sig).then_some(sig);
+        }
+        // Wildcard: fronts in ascending arrival order; the first matching
+        // front is the earliest matching message overall, because any later
+        // message of the same signature sits behind its queue's front.
+        self.fronts.values().find(|sig| sig_matches(sig, src, tag, comm)).copied()
+    }
+
+    fn claim(&mut self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
+        let sig = self.best_signature(src, tag, comm)?;
+        let Entry::Occupied(mut entry) = self.queues.entry(sig) else {
+            unreachable!("best_signature returned a live queue");
+        };
+        let stamped = entry.get_mut().pop_front().expect("queues are never left empty");
+        self.fronts.remove(&stamped.arrival);
+        match entry.get().front() {
+            Some(next) => {
+                self.fronts.insert(next.arrival, sig);
+            }
+            None => {
+                entry.remove();
+            }
+        }
+        self.total -= 1;
+        Some(stamped.env)
+    }
+
+    fn probe(&self, src: i32, tag: Tag, comm: CommId) -> Option<&Envelope> {
+        let sig = self.best_signature(src, tag, comm)?;
+        Some(&self.queues[&sig].front().expect("queues are never left empty").env)
+    }
+}
 
 /// A rank's incoming-message queue.
 #[derive(Debug, Default)]
 pub struct Mailbox {
-    inner: Mutex<VecDeque<Envelope>>,
+    inner: Mutex<Shelves>,
     cv: Condvar,
 }
 
@@ -29,32 +123,27 @@ impl Mailbox {
     /// Deliver an envelope (called by the network from any thread).
     pub fn deliver(&self, env: Envelope) {
         let mut q = self.inner.lock();
-        q.push_back(env);
+        q.push(env);
         self.cv.notify_all();
     }
 
     /// Claim the first arrived envelope matching `(src, tag, comm)`, if any.
     pub fn try_claim(&self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
-        let mut q = self.inner.lock();
-        let idx = q.iter().position(|e| e.matches(src, tag, comm))?;
-        q.remove(idx)
+        self.inner.lock().claim(src, tag, comm)
     }
 
     /// Peek (do not claim) the first arrived envelope matching
     /// `(src, tag, comm)`, returning `(src, tag, payload_len)` — `iprobe`.
     pub fn probe(&self, src: i32, tag: Tag, comm: CommId) -> Option<(usize, Tag, usize)> {
         let q = self.inner.lock();
-        q.iter()
-            .find(|e| e.matches(src, tag, comm))
-            .map(|e| (e.src, e.tag, e.payload.len()))
+        q.probe(src, tag, comm).map(|e| (e.src, e.tag, e.payload.len()))
     }
 
-    /// Run `f` under the mailbox lock with mutable access to the arrival
-    /// queue. Used by the request engine to perform posted-order matching of
-    /// several pending receives atomically.
-    pub fn with_queue<R>(&self, f: impl FnOnce(&mut VecDeque<Envelope>) -> R) -> R {
-        let mut q = self.inner.lock();
-        f(&mut q)
+    /// Hold the mailbox lock across several matching operations. Used by the
+    /// request engine to perform posted-order matching of multiple pending
+    /// receives atomically with respect to concurrent deliveries.
+    pub fn lock(&self) -> MailboxGuard<'_> {
+        MailboxGuard { inner: self.inner.lock() }
     }
 
     /// Block until the mailbox might have changed, or `timeout` elapses.
@@ -75,23 +164,62 @@ impl Mailbox {
 
     /// Number of undelivered envelopes (diagnostics / tests).
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().total
     }
 
     /// True if no envelopes are waiting.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.len() == 0
     }
 
     /// Drain every envelope (used when tearing a job down).
     pub fn clear(&self) {
-        self.inner.lock().clear();
+        let mut q = self.inner.lock();
+        q.queues.clear();
+        q.fronts.clear();
+        q.total = 0;
+    }
+}
+
+/// Exclusive access to a locked mailbox (see [`Mailbox::lock`]).
+pub struct MailboxGuard<'a> {
+    inner: MutexGuard<'a, Shelves>,
+}
+
+impl MailboxGuard<'_> {
+    /// Claim the earliest-arrived matching envelope under the held lock.
+    pub fn claim(&mut self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
+        self.inner.claim(src, tag, comm)
+    }
+
+    /// Number of queued envelopes.
+    pub fn len(&self) -> usize {
+        self.inner.total
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.total == 0
+    }
+
+    /// All queued envelopes in global arrival order (diagnostics / tests).
+    /// Envelope clones are cheap: payloads are ref-counted views.
+    pub fn snapshot_arrival_order(&self) -> Vec<Envelope> {
+        let mut all: Vec<(u64, Envelope)> = self
+            .inner
+            .queues
+            .values()
+            .flat_map(|q| q.iter().map(|s| (s.arrival, s.env.clone())))
+            .collect();
+        all.sort_by_key(|(arrival, _)| *arrival);
+        all.into_iter().map(|(_, env)| env).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::payload::Payload;
     use crate::{ANY_SOURCE, ANY_TAG, COMM_WORLD};
 
     fn env(src: usize, tag: Tag, seq: u64) -> Envelope {
@@ -103,7 +231,7 @@ mod tests {
             seq,
             piggyback: 0,
             depart_vt: 0,
-            payload: vec![seq as u8].into_boxed_slice(),
+            payload: Payload::from_vec(vec![seq as u8]),
         }
     }
 
@@ -144,11 +272,81 @@ mod tests {
     }
 
     #[test]
+    fn wildcard_respects_arrival_order_across_interleaved_signatures() {
+        // Deliveries interleave three signatures; a pure-wildcard drain must
+        // reproduce the exact global arrival order even though each
+        // signature lives in its own indexed queue.
+        let mb = Mailbox::new();
+        let order = [(1usize, 5), (3, 2), (1, 5), (2, 7), (3, 2), (2, 7), (1, 5)];
+        for (i, (src, tag)) in order.iter().enumerate() {
+            mb.deliver(env(*src, *tag, i as u64));
+        }
+        for (i, (src, tag)) in order.iter().enumerate() {
+            let got = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+            assert_eq!((got.src, got.tag, got.seq), (*src, *tag, i as u64));
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn partial_wildcards_match_in_arrival_order() {
+        let mb = Mailbox::new();
+        mb.deliver(env(2, 9, 0)); // other source
+        mb.deliver(env(1, 5, 1));
+        mb.deliver(env(1, 8, 2));
+        mb.deliver(env(1, 5, 3));
+        // ANY_TAG from src 1: earliest arrival from that source is seq 1.
+        let got = mb.try_claim(1, ANY_TAG, COMM_WORLD).unwrap();
+        assert_eq!((got.tag, got.seq), (5, 1));
+        // ANY_SOURCE with tag 5: next is seq 3 (seq 1 already claimed).
+        let got = mb.try_claim(ANY_SOURCE, 5, COMM_WORLD).unwrap();
+        assert_eq!((got.src, got.seq), (1, 3));
+        assert_eq!(mb.len(), 2);
+    }
+
+    #[test]
+    fn wildcards_do_not_cross_communicators() {
+        let mb = Mailbox::new();
+        let mut other = env(1, 5, 0);
+        other.comm = CommId(9);
+        mb.deliver(other);
+        mb.deliver(env(1, 5, 1));
+        let got = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+        assert_eq!(got.seq, 1, "wildcard must not match a different communicator");
+        assert!(mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).is_none());
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
     fn probe_does_not_claim() {
         let mb = Mailbox::new();
         mb.deliver(env(3, 1, 7));
         let (src, tag, len) = mb.probe(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
         assert_eq!((src, tag, len), (3, 1, 1));
         assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_global_arrival_order() {
+        let mb = Mailbox::new();
+        mb.deliver(env(2, 1, 0));
+        mb.deliver(env(1, 1, 0));
+        mb.deliver(env(2, 1, 1));
+        let snap = mb.lock().snapshot_arrival_order();
+        let srcs: Vec<usize> = snap.iter().map(|e| e.src).collect();
+        assert_eq!(srcs, vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn locked_guard_claims_atomically() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 5, 0));
+        mb.deliver(env(2, 5, 1));
+        let mut g = mb.lock();
+        assert_eq!(g.len(), 2);
+        let a = g.claim(ANY_SOURCE, 5, COMM_WORLD).unwrap();
+        let b = g.claim(ANY_SOURCE, 5, COMM_WORLD).unwrap();
+        assert_eq!((a.src, b.src), (1, 2));
+        assert!(g.is_empty());
     }
 }

@@ -3,11 +3,13 @@
 
 use crate::envelope::Envelope;
 use crate::mailbox::Mailbox;
+use crate::payload::BufferPool;
 use crate::Rank;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Virtual-time cost model of an interconnect, in the style of the paper's
 /// evaluation platforms (§6). Costs feed the per-rank virtual clocks, not
@@ -94,6 +96,8 @@ pub struct Network {
     reorder_state: Vec<Mutex<ReorderState>>,
     poisoned: AtomicBool,
     poison_reason: Mutex<Option<String>>,
+    /// The world's shared send-buffer pool (see [`BufferPool`]).
+    pool: Arc<BufferPool>,
     /// Total application messages injected (diagnostics).
     pub msgs_sent: AtomicU64,
     /// Total application bytes injected (diagnostics).
@@ -123,6 +127,7 @@ impl Network {
             reorder_state,
             poisoned: AtomicBool::new(false),
             poison_reason: Mutex::new(None),
+            pool: BufferPool::new(),
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
         }
@@ -141,6 +146,11 @@ impl Network {
     /// The mailbox of `rank`.
     pub fn mailbox(&self, rank: Rank) -> &Mailbox {
         &self.mailboxes[rank]
+    }
+
+    /// The world's shared send-buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// Inject an envelope. Applies the reordering model, then delivers to the
@@ -257,7 +267,7 @@ mod tests {
             seq,
             piggyback: 0,
             depart_vt: 0,
-            payload: Box::new([]),
+            payload: crate::payload::Payload::empty(),
         }
     }
 
@@ -306,12 +316,13 @@ mod tests {
             net.send(env(0, 1, (i % 2) as Tag, i / 2));
         }
         net.flush_reorder();
-        let mut arrivals = Vec::new();
-        net.mailbox(1).with_queue(|q| {
-            for e in q.iter() {
-                arrivals.push((e.tag, e.seq));
-            }
-        });
+        let arrivals: Vec<(Tag, u64)> = net
+            .mailbox(1)
+            .lock()
+            .snapshot_arrival_order()
+            .iter()
+            .map(|e| (e.tag, e.seq))
+            .collect();
         assert_eq!(arrivals.len(), 100);
         // Detect at least one cross-signature inversion vs. global send
         // order (tag alternation means global order is (0,k),(1,k),(0,k+1)..).

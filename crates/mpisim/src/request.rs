@@ -74,25 +74,29 @@ impl RequestTable {
 
     /// Drive matching: claim arrived envelopes for pending receives in
     /// posted order. Runs entirely under the mailbox lock so that matching
-    /// is atomic with respect to concurrent deliveries.
+    /// is atomic with respect to concurrent deliveries. Each claim is an
+    /// indexed lookup (O(1) for exact signatures; arrival-ordered across
+    /// signatures for wildcards).
     pub fn progress(&mut self, mailbox: &Mailbox) {
         if self.posted.is_empty() {
             return;
         }
-        mailbox.with_queue(|q| {
-            self.posted.retain(|id| {
-                let (src, tag, comm) = match self.slots.get(id) {
-                    Some(ReqState::RecvPending { src, tag, comm }) => (*src, *tag, *comm),
-                    _ => return false, // cancelled/overwritten: drop from queue
-                };
-                if let Some(idx) = q.iter().position(|e| e.matches(src, tag, comm)) {
-                    let env = q.remove(idx).expect("index valid");
+        let mut guard = mailbox.lock();
+        self.posted.retain(|id| {
+            let (src, tag, comm) = match self.slots.get(id) {
+                Some(ReqState::RecvPending { src, tag, comm }) => (*src, *tag, *comm),
+                _ => return false, // cancelled/overwritten: drop from queue
+            };
+            if guard.is_empty() {
+                return true;
+            }
+            match guard.claim(src, tag, comm) {
+                Some(env) => {
                     self.slots.insert(*id, ReqState::RecvDone { env });
                     false
-                } else {
-                    true
                 }
-            });
+                None => true,
+            }
         });
     }
 
@@ -163,7 +167,7 @@ mod tests {
             seq,
             piggyback: 9,
             depart_vt: 0,
-            payload: vec![seq as u8].into_boxed_slice(),
+            payload: crate::payload::Payload::from_vec(vec![seq as u8]),
         }
     }
 

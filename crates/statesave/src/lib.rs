@@ -32,7 +32,7 @@ pub mod store;
 
 pub use codec::{Decoder, Encoder, Saveable};
 pub use incremental::IncrementalSaver;
-pub use memmgr::{CkptHeap, ObjId};
+pub use memmgr::{scratch, CkptHeap, ObjId, ScratchPool};
 pub use registry::{TypeCode, VarDesc, VariableRegistry};
 pub use slc::SlcCheckpointer;
 pub use store::CkptStore;

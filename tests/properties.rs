@@ -338,6 +338,127 @@ fn chain_last_state(
     state
 }
 
+/// The signature-indexed mailbox must be observationally identical to the
+/// linear-scan model it replaced: for any interleaving of deliveries and
+/// (possibly wildcard) claims, every claim returns the first envelope in
+/// *global arrival order* whose signature matches, and per-signature FIFO
+/// is never violated.
+mod mailbox_model {
+    use super::*;
+    use mpisim::{Envelope, Mailbox, Payload, ANY_SOURCE, ANY_TAG, COMM_WORLD};
+
+    fn mk_env(src: usize, tag: i32, label: u64) -> Envelope {
+        Envelope {
+            src,
+            dst: 0,
+            tag,
+            comm: COMM_WORLD,
+            seq: label,
+            piggyback: 0,
+            depart_vt: 0,
+            payload: Payload::from_vec(label.to_le_bytes().to_vec()),
+        }
+    }
+
+    /// One generated step: deliver (src, tag), or claim with independently
+    /// wildcarded source and tag.
+    type Op = (bool, usize, i32, bool, bool);
+
+    proptest! {
+        #[test]
+        fn indexed_mailbox_matches_linear_scan_reference(
+            ops in proptest::collection::vec(
+                (any::<bool>(), 0usize..4, 0i32..3, any::<bool>(), any::<bool>()),
+                1..200,
+            ),
+        ) {
+            let mb = Mailbox::new();
+            // Reference model: arrival-ordered vector, claims scan front to
+            // back — the seed implementation's exact semantics.
+            let mut reference: Vec<Envelope> = Vec::new();
+            let mut label = 0u64;
+            for (deliver, src, tag, wild_src, wild_tag) in ops {
+                let op: Op = (deliver, src, tag, wild_src, wild_tag);
+                let (deliver, src, tag, wild_src, wild_tag) = op;
+                if deliver {
+                    let e = mk_env(src, tag, label);
+                    label += 1;
+                    mb.deliver(e.clone());
+                    reference.push(e);
+                } else {
+                    let qsrc = if wild_src { ANY_SOURCE } else { src as i32 };
+                    let qtag = if wild_tag { ANY_TAG } else { tag };
+                    // Probe must agree with the model *before* the claim.
+                    let expect_probe = reference
+                        .iter()
+                        .find(|e| e.matches(qsrc, qtag, COMM_WORLD))
+                        .map(|e| (e.src, e.tag, e.payload.len()));
+                    prop_assert_eq!(mb.probe(qsrc, qtag, COMM_WORLD), expect_probe);
+                    let expected = reference
+                        .iter()
+                        .position(|e| e.matches(qsrc, qtag, COMM_WORLD))
+                        .map(|i| reference.remove(i));
+                    let got = mb.try_claim(qsrc, qtag, COMM_WORLD);
+                    match (&expected, &got) {
+                        (None, None) => {}
+                        (Some(e), Some(g)) => {
+                            prop_assert_eq!(
+                                (e.src, e.tag, e.seq),
+                                (g.src, g.tag, g.seq),
+                                "claim (src {qsrc}, tag {qtag}) diverged from the reference"
+                            );
+                        }
+                        _ => prop_assert!(
+                            false,
+                            "claim presence diverged: reference {:?}, mailbox {:?}",
+                            expected.map(|e| (e.src, e.tag, e.seq)),
+                            got.map(|g| (g.src, g.tag, g.seq))
+                        ),
+                    }
+                    prop_assert_eq!(mb.len(), reference.len());
+                }
+            }
+            // Full-wildcard drain must replay the remaining envelopes in
+            // exact global arrival order, whatever mix of signatures is
+            // left.
+            for e in reference {
+                let g = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+                prop_assert_eq!((e.src, e.tag, e.seq), (g.src, g.tag, g.seq));
+            }
+            prop_assert!(mb.is_empty());
+        }
+
+        /// Per-signature FIFO survives the indexed rewrite: draining any one
+        /// signature with exact claims yields its labels in send order.
+        #[test]
+        fn per_signature_fifo_under_exact_claims(
+            sends in proptest::collection::vec((0usize..3, 0i32..3), 1..120),
+        ) {
+            let mb = Mailbox::new();
+            for (label, (src, tag)) in sends.iter().enumerate() {
+                mb.deliver(mk_env(*src, *tag, label as u64));
+            }
+            for src in 0..3usize {
+                for tag in 0..3i32 {
+                    let mut last: Option<u64> = None;
+                    while let Some(e) = mb.try_claim(src as i32, tag, COMM_WORLD) {
+                        if let Some(prev) = last {
+                            prop_assert!(
+                                e.seq > prev,
+                                "signature ({src},{tag}) replayed out of order: {} after {}",
+                                e.seq,
+                                prev
+                            );
+                        }
+                        last = Some(e.seq);
+                    }
+                }
+            }
+            prop_assert!(mb.is_empty());
+        }
+    }
+}
+
 /// Randomized end-to-end determinism: a ring application with a random
 /// iteration count, checkpoint pragma, and failure point always recovers to
 /// the failure-free result. Runs fewer cases than the pure-data properties
