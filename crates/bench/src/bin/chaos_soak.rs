@@ -1,0 +1,427 @@
+//! `chaos_soak` — deterministic seed-sweep fault-injection soak.
+//!
+//! For every NPB kernel and every seed, derive an ordered multi-fault
+//! [`ChaosPlan`] (`ChaosPlan::from_seed`), run the kernel under the C³
+//! protocol with that plan — faults land at pragmas, at arbitrary substrate
+//! operations (mid-collective, mid-control-plane, mid-restore-handshake),
+//! in the torn-commit window, and mid-replay — and compare the recovered
+//! result bit-for-bit against the failure-free raw-substrate baseline.
+//!
+//! Any divergent seed is greedily shrunk (`c3::shrink_plan`) to a minimal
+//! reproduction by re-running candidate plans; a synthetic known-bad oracle
+//! demonstrates the shrinker on every invocation so the reduction machinery
+//! itself stays exercised while the protocol is healthy.
+//!
+//! Emits `BENCH_recovery.json` (working directory or `$BENCH_OUT_DIR`) with
+//! per-kernel restart counts and §6.5-style restart-cost percentiles
+//! (`last_commit_wall_ns` of the surviving incarnation).
+//!
+//! ```text
+//! chaos_soak [--seeds N] [--base-seed S] [--quick] [--jobs J] [--kernels cg,ft,...]
+//! ```
+
+use c3::{run_job_with_chaos, shrink_plan, C3Config, C3Error, ChaosPlan, ChaosSpace, CkptPolicy, FailAt, FailurePlan};
+use c3_bench::{Align, Table};
+use mpisim::JobSpec;
+use statesave::TempStore;
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+/// One chaos run's observables.
+struct RunOutcome {
+    /// Per-rank result bits (bit-exact comparison basis).
+    bits: Vec<u64>,
+    restarts: u32,
+    fired: u32,
+    /// Wall ns from final-incarnation start to its last checkpoint commit,
+    /// max across ranks (0 when the surviving incarnation never committed).
+    wall_ns: u64,
+}
+
+/// A kernel wired for both the raw baseline and chaos runs.
+struct Kernel {
+    name: &'static str,
+    nranks: usize,
+    space: ChaosSpace,
+    baseline: Box<dyn Fn(&JobSpec) -> Vec<u64> + Send + Sync>,
+    chaos: Box<dyn Fn(&JobSpec, &C3Config, &ChaosPlan) -> Result<RunOutcome, String> + Send + Sync>,
+}
+
+macro_rules! kernel {
+    ($name:literal, $module:ident, $nranks:expr, $cfg:expr, $max_pragma:expr, $max_op:expr) => {{
+        let cfg = $cfg;
+        Kernel {
+            name: $name,
+            nranks: $nranks,
+            space: ChaosSpace { nranks: $nranks, max_pragma: $max_pragma, max_op: $max_op },
+            baseline: Box::new(move |spec| {
+                let out = mpisim::launch(spec, move |ctx| npb::$module::run(ctx, &cfg))
+                    .unwrap_or_else(|e| panic!("{} baseline failed: {e}", $name));
+                out.results.iter().map(|r| r.to_bits()).collect()
+            }),
+            chaos: Box::new(move |spec, c3cfg, plan| {
+                let rec = run_job_with_chaos(spec, c3cfg, plan, move |ctx| {
+                    let r = npb::$module::run(ctx, &cfg).map_err(C3Error::Mpi)?;
+                    Ok((r, ctx.stats().last_commit_wall_ns))
+                })
+                .map_err(|e| e.to_string())?;
+                Ok(RunOutcome {
+                    bits: rec.handle.results.iter().map(|(r, _)| r.to_bits()).collect(),
+                    restarts: rec.restarts,
+                    fired: rec.faults_fired,
+                    wall_ns: rec.handle.results.iter().map(|(_, w)| *w).max().unwrap_or(0),
+                })
+            }),
+        }
+    }};
+}
+
+/// The paper's ten kernels. `quick` shrinks problem sizes for the tier-1
+/// smoke (`--seeds 32 --quick` finishes well under a minute); the default
+/// sizes match `tests/recovery_kernels.rs`. EP runs on one rank for the
+/// same scheduler-dependence reason documented there.
+fn kernels(quick: bool) -> Vec<Kernel> {
+    if quick {
+        vec![
+            kernel!("cg", cg, 3, npb::cg::CgConfig { n: 48, iters: 6 }, 6, 150),
+            kernel!("lu", lu, 4, npb::lu::LuConfig::class(npb::Class::S), 8, 150),
+            kernel!("sp", sp, 3, npb::sp::SpConfig { n: 24, steps: 6, lambda: 0.4 }, 6, 150),
+            kernel!(
+                "bt",
+                bt,
+                3,
+                npb::bt::BtConfig { n: 15, steps: 4, lambda: 0.35, kappa: 0.1 },
+                4,
+                120
+            ),
+            kernel!("mg", mg, 4, npb::mg::MgConfig { log2_n: 6, cycles: 4, smooth: 2 }, 4, 150),
+            kernel!("ft", ft, 4, npb::ft::FtConfig { n: 16, steps: 4, alpha: 1e-4 }, 4, 120),
+            kernel!(
+                "is",
+                is,
+                4,
+                npb::is::IsConfig { total_keys: 1024, max_key: 2048, iters: 4 },
+                4,
+                120
+            ),
+            kernel!("ep", ep, 1, npb::ep::EpConfig { m_per_block: 10, blocks: 8 }, 8, 60),
+            kernel!("smg", smg, 4, npb::smg::SmgConfig { log2_n: 6, iters: 4, smooth: 2 }, 8, 150),
+            kernel!("hpl", hpl, 4, npb::hpl::HplConfig { n: 24 }, 24, 150),
+        ]
+    } else {
+        vec![
+            kernel!("cg", cg, 4, npb::cg::CgConfig { n: 96, iters: 8 }, 8, 300),
+            kernel!("lu", lu, 4, npb::lu::LuConfig::class(npb::Class::S), 10, 300),
+            kernel!("sp", sp, 4, npb::sp::SpConfig { n: 32, steps: 8, lambda: 0.4 }, 8, 300),
+            kernel!(
+                "bt",
+                bt,
+                3,
+                npb::bt::BtConfig { n: 21, steps: 6, lambda: 0.35, kappa: 0.1 },
+                6,
+                250
+            ),
+            kernel!("mg", mg, 4, npb::mg::MgConfig { log2_n: 8, cycles: 6, smooth: 2 }, 6, 300),
+            kernel!("ft", ft, 4, npb::ft::FtConfig { n: 32, steps: 6, alpha: 1e-4 }, 6, 250),
+            kernel!(
+                "is",
+                is,
+                4,
+                npb::is::IsConfig { total_keys: 2048, max_key: 4096, iters: 6 },
+                6,
+                250
+            ),
+            kernel!("ep", ep, 1, npb::ep::EpConfig { m_per_block: 10, blocks: 12 }, 12, 80),
+            kernel!("smg", smg, 4, npb::smg::SmgConfig { log2_n: 8, iters: 6, smooth: 2 }, 10, 300),
+            kernel!("hpl", hpl, 4, npb::hpl::HplConfig { n: 40 }, 40, 300),
+        ]
+    }
+}
+
+fn chaos_cfg(store: &TempStore) -> C3Config {
+    C3Config {
+        store_root: store.path().to_path_buf(),
+        write_disk: true,
+        // Every rank applies the policy: concurrent initiations exercise
+        // the §4.5 "any process may initiate" interleavings under fire.
+        policy: CkptPolicy::EveryNth(3),
+        initiator: None,
+    }
+}
+
+/// One sweep record.
+struct Record {
+    kernel: usize,
+    seed: u64,
+    plan: ChaosPlan,
+    outcome: Result<(RunOutcome, bool), String>, // bool = matches baseline
+}
+
+struct Args {
+    seeds: u64,
+    base_seed: u64,
+    quick: bool,
+    jobs: usize,
+    kernels: Option<Vec<String>>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 200,
+        base_seed: 0,
+        quick: false,
+        jobs: std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4),
+        kernels: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut grab = |what: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--seeds" => args.seeds = grab("--seeds").parse().expect("--seeds N"),
+            "--base-seed" => args.base_seed = grab("--base-seed").parse().expect("--base-seed N"),
+            "--quick" => args.quick = true,
+            "--jobs" => args.jobs = grab("--jobs").parse().expect("--jobs N"),
+            "--kernels" => {
+                args.kernels = Some(grab("--kernels").split(',').map(str::to_string).collect())
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args.jobs = args.jobs.max(1);
+    args
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Demonstrate the shrinker on a deliberately-seeded known-bad plan: the
+/// synthetic oracle "fails" iff the plan holds an op fault at op ≥ 10, so
+/// the minimal reproduction is the single fault `rank0@op(10)`. This runs
+/// on every invocation — the reduction machinery is exercised even while
+/// the protocol itself has no divergences to shrink.
+fn shrink_demo() -> (ChaosPlan, ChaosPlan, bool) {
+    let bad = ChaosPlan {
+        faults: vec![
+            FailurePlan { rank: 1, when: FailAt::Pragma(7) },
+            FailurePlan { rank: 3, when: FailAt::Op(123) },
+            FailurePlan { rank: 2, when: FailAt::DuringRestore { nth_replay: 3 } },
+        ],
+    };
+    let oracle =
+        |p: &ChaosPlan| p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10));
+    let min = shrink_plan(&bad, oracle);
+    let ok = min == ChaosPlan::single(FailurePlan { rank: 0, when: FailAt::Op(10) });
+    (bad, min, ok)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut kset = kernels(args.quick);
+    if let Some(filter) = &args.kernels {
+        kset.retain(|k| filter.iter().any(|f| f == k.name));
+        if kset.is_empty() {
+            eprintln!("--kernels matched nothing");
+            std::process::exit(2);
+        }
+    }
+
+    // Failure-free baselines, once per kernel.
+    let baselines: Vec<Vec<u64>> =
+        kset.iter().map(|k| (k.baseline)(&JobSpec::new(k.nranks))).collect();
+
+    // The sweep: kernels × seeds, claimed by a fixed-size worker pool.
+    let tasks: Vec<(usize, u64)> = (0..kset.len())
+        .flat_map(|k| (0..args.seeds).map(move |s| (k, args.base_seed + s)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let records: Mutex<Vec<Record>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..args.jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(kidx, seed)) = tasks.get(i) else { break };
+                let k = &kset[kidx];
+                let plan = ChaosPlan::from_seed(seed, &k.space);
+                let store = TempStore::new(k.name);
+                let spec = JobSpec::new(k.nranks);
+                let outcome = (k.chaos)(&spec, &chaos_cfg(&store), &plan)
+                    .map(|run| {
+                        let ok = run.bits == baselines[kidx];
+                        (run, ok)
+                    });
+                records.lock().unwrap().push(Record { kernel: kidx, seed, plan, outcome });
+            });
+        }
+    });
+    // Workers finish in scheduler order; sort so the report, the failing
+    // list, and BENCH_recovery.json are byte-stable across identical runs.
+    let mut records = records.into_inner().unwrap();
+    records.sort_by_key(|r| (r.kernel, r.seed));
+
+    // Aggregate per kernel.
+    let mut table = Table::new(
+        format!(
+            "chaos_soak — {} seeds × {} kernels ({} plans)",
+            args.seeds,
+            kset.len(),
+            records.len()
+        ),
+        &[
+            ("kernel", Align::Left),
+            ("runs", Align::Right),
+            ("diverged", Align::Right),
+            ("errors", Align::Right),
+            ("faults fired", Align::Right),
+            ("max restarts", Align::Right),
+            ("restart-cost p50/p99 ms", Align::Right),
+        ],
+    );
+    let mut json_kernels = Vec::new();
+    let mut total_diverged = 0usize;
+    let mut failing: Vec<&Record> = Vec::new();
+    for (kidx, k) in kset.iter().enumerate() {
+        let mine: Vec<&Record> = records.iter().filter(|r| r.kernel == kidx).collect();
+        let mut diverged = 0usize;
+        let mut errors = 0usize;
+        let mut fired = 0u64;
+        let mut max_restarts = 0u32;
+        let mut hist: Vec<u64> = Vec::new();
+        let mut costs: Vec<u64> = Vec::new();
+        for r in &mine {
+            match &r.outcome {
+                Ok((run, ok)) => {
+                    if !ok {
+                        diverged += 1;
+                        failing.push(r);
+                    }
+                    fired += run.fired as u64;
+                    max_restarts = max_restarts.max(run.restarts);
+                    let slot = run.restarts as usize;
+                    if hist.len() <= slot {
+                        hist.resize(slot + 1, 0);
+                    }
+                    hist[slot] += 1;
+                    if run.wall_ns > 0 {
+                        costs.push(run.wall_ns);
+                    }
+                }
+                Err(_) => {
+                    errors += 1;
+                    failing.push(r);
+                }
+            }
+        }
+        total_diverged += diverged + errors;
+        costs.sort_unstable();
+        let (p50, p90, p99) = (
+            percentile(&costs, 0.50),
+            percentile(&costs, 0.90),
+            percentile(&costs, 0.99),
+        );
+        table.row(vec![
+            k.name.to_string(),
+            mine.len().to_string(),
+            diverged.to_string(),
+            errors.to_string(),
+            fired.to_string(),
+            max_restarts.to_string(),
+            format!("{:.2}/{:.2}", p50 as f64 / 1e6, p99 as f64 / 1e6),
+        ]);
+        let hist_json =
+            hist.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+        json_kernels.push(format!(
+            "    {{\"name\": \"{}\", \"runs\": {}, \"divergences\": {}, \"errors\": {}, \
+             \"faults_fired\": {}, \"max_restarts\": {}, \"restart_histogram\": [{}], \
+             \"restart_cost_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
+            k.name,
+            mine.len(),
+            diverged,
+            errors,
+            fired,
+            max_restarts,
+            hist_json,
+            p50,
+            p90,
+            p99,
+            costs.last().copied().unwrap_or(0),
+        ));
+    }
+    table.print();
+
+    // Shrink every failing seed to a minimal reproduction by re-running.
+    let mut shrunk_json = Vec::new();
+    for r in &failing {
+        let k = &kset[r.kernel];
+        let spec = JobSpec::new(k.nranks);
+        let still_fails = |cand: &ChaosPlan| {
+            let store = TempStore::new("shrink");
+            match (k.chaos)(&spec, &chaos_cfg(&store), cand) {
+                Ok(run) => run.bits != baselines[r.kernel],
+                Err(_) => true,
+            }
+        };
+        let min = shrink_plan(&r.plan, still_fails);
+        println!(
+            "FAIL {} seed {}: plan {} shrank to minimal reproduction {}",
+            k.name, r.seed, r.plan, min
+        );
+        shrunk_json.push(format!(
+            "    {{\"kernel\": \"{}\", \"seed\": {}, \"plan\": \"{}\", \"shrunk\": \"{}\"}}",
+            k.name, r.seed, r.plan, min
+        ));
+    }
+
+    // The standing shrinker demonstration.
+    let (demo_bad, demo_min, demo_ok) = shrink_demo();
+    println!(
+        "\nshrinker demo: {} → {} ({})",
+        demo_bad,
+        demo_min,
+        if demo_ok { "minimal, as expected" } else { "UNEXPECTED RESULT" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_soak\",\n  \"seeds\": {},\n  \"base_seed\": {},\n  \
+         \"quick\": {},\n  \"divergences\": {},\n  \"kernels\": [\n{}\n  ],\n  \
+         \"failing_shrunk\": [\n{}\n  ],\n  \"shrink_demo\": {{\"original\": \"{}\", \
+         \"shrunk\": \"{}\", \"minimal\": {}}}\n}}\n",
+        args.seeds,
+        args.base_seed,
+        args.quick,
+        total_diverged,
+        json_kernels.join(",\n"),
+        shrunk_json.join(",\n"),
+        demo_bad,
+        demo_min,
+        demo_ok,
+    );
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create BENCH_OUT_DIR {dir}: {e}");
+        std::process::exit(1);
+    }
+    let path = std::path::Path::new(&dir).join("BENCH_recovery.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+
+    if total_diverged > 0 || !demo_ok {
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,9 @@
 //! | `table6` | restart cost, uniprocessor, Lemieux model                 |
 //! | `table7` | the same on the CMI model                                 |
 //! | `scaling`| §6.4's hourly/daily checkpoint overhead projection        |
+//! | `chaos_soak` | seed-sweep fault-injection soak: multi-fault plans    |
+//! |          | across all kernels vs failure-free baselines, with greedy |
+//! |          | plan shrinking and `BENCH_recovery.json` restart stats    |
 //!
 //! Each binary prints our measured rows next to the paper's reported rows.
 //! Criterion microbenchmarks under `benches/` cover the design-choice

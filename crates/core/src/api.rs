@@ -178,18 +178,26 @@ pub struct C3Stats {
     pub last_commit_wall_ns: u64,
 }
 
-/// Shared, one-shot fault-injection trigger (see [`crate::failure`]).
+/// The currently *armed* fault of a chaos plan (see [`crate::failure`]).
+///
+/// The chaos driver arms exactly one fault per job incarnation; each fault
+/// fires at most once and the driver then arms the next fault of the plan on
+/// the following restart — so the same rank can be killed again on a later
+/// incarnation (multi-failure recovery), unlike the seed's one-shot
+/// `fired`-for-the-whole-job-lifetime trigger.
 #[derive(Debug)]
 pub struct FailureTrigger {
-    /// The rank that fails.
-    pub rank: usize,
-    /// Fail when the rank's pragma counter reaches this value...
-    pub at_pragma: u64,
-    /// ...but only after this many commits have completed on that rank.
-    pub min_commits: u64,
-    /// Set once the failure has fired (it fires at most once per job
-    /// lifetime, across restarts).
+    /// The armed fault: which rank dies, and at which protocol instant.
+    pub plan: crate::failure::FailurePlan,
+    /// Set once this fault has fired (at most once per armed incarnation).
     pub fired: AtomicBool,
+}
+
+impl FailureTrigger {
+    /// Arm a fault.
+    pub fn new(plan: crate::failure::FailurePlan) -> Self {
+        FailureTrigger { plan, fired: AtomicBool::new(false) }
+    }
 }
 
 /// The per-rank co-ordination layer: the paper's protocol state plus the

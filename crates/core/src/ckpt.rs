@@ -92,6 +92,10 @@ pub(crate) fn write_commit_sections(ctx: &mut C3Ctx<'_>, version: u64) -> Result
     ctx.replay.save(&mut e);
     ctx.reqs.save(ctx.line_next_req, &mut e);
     put_pooled(ctx, version, "late", e)?;
+    // The torn-commit crash window: the late log is on disk, the commit
+    // marker is not. A `DuringCommit` fault kills the rank exactly here;
+    // recovery must then come from the previous fully committed line.
+    ctx.maybe_fail_during_commit()?;
     if ctx.cfg.write_disk {
         ctx.store.mark_committed(version, ctx.rank()).map_err(C3Error::Io)?;
     }

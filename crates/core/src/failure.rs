@@ -1,26 +1,39 @@
-//! Fail-stop fault injection and the whole-job recovery driver.
+//! Fail-stop fault injection, chaos plans, and the whole-job recovery driver.
 //!
 //! The paper's fault model is fail-stop (§1, footnote 1): a failing node
-//! simply stops. Recovery restarts the job from the last recovery line
-//! committed on all nodes. This module provides:
+//! simply stops — *at any instant*, mid-epoch, inside a collective, during
+//! checkpoint commit, or while replaying a previous recovery. Recovery
+//! restarts the job from the last recovery line committed on all nodes.
+//! This module provides:
 //!
-//! * [`FailurePlan`] — a deterministic one-shot fault: kill rank `r` at its
-//!   `k`-th pragma (optionally only after `c` commits);
+//! * [`FailAt`] / [`FailurePlan`] — one deterministic fault: kill rank `r`
+//!   at a pragma, after commits, at its `n`-th substrate MPI operation,
+//!   mid-commit, or at its `n`-th replayed receive during recovery;
+//! * [`ChaosPlan`] — an *ordered sequence* of faults, possibly hitting
+//!   different ranks (or the same rank again) across successive restarts;
+//!   [`ChaosPlan::from_seed`] derives a plan from a deterministic RNG and
+//!   [`shrink_plan`] greedily reduces a failing plan to a minimal
+//!   reproduction;
 //! * [`run_job`] — run an instrumented application to completion with the
 //!   protocol active (no failures);
-//! * [`run_job_with_failure`] — run, let the fault fire, then restart the
-//!   job in `Restore` mode, repeating until it completes. Returns how many
-//!   restarts were needed.
+//! * [`run_job_with_chaos`] — the recovery driver: arm the plan's faults one
+//!   incarnation at a time, restart from the last committed recovery line
+//!   after each injected death, and assert forward progress (every restart
+//!   consumes one fault from the budget and never regresses the committed
+//!   line);
+//! * [`run_job_with_failure`] — the seed's single-fault surface, now a
+//!   [`ChaosPlan`] of length 1.
 
 use crate::api::{C3Config, C3Ctx, C3Error, FailureTrigger};
-use mpisim::{JobError, JobHandle, JobSpec};
-use std::sync::atomic::{AtomicBool, Ordering};
+use mpisim::{JobError, JobHandle, JobSpec, INJECTED_FAULT_MARKER};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use statesave::CkptStore;
 use std::sync::Arc;
 
 /// When a planned failure fires.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FailAt {
-    /// At the rank's `n`-th checkpoint pragma.
+    /// At the rank's `n`-th checkpoint pragma (counted per incarnation).
     Pragma(u64),
     /// At the first pragma after the rank has committed `commits`
     /// checkpoints and reached pragma `pragma`.
@@ -30,10 +43,40 @@ pub enum FailAt {
         /// Required pragma count.
         pragma: u64,
     },
+    /// At the rank's `n`-th substrate MPI operation (sends, posted receives,
+    /// waits, collective entries — see `mpisim::RankCtx::op_clock`). Lands
+    /// *inside* collectives, the control plane, checkpoint I/O, and the
+    /// restore handshake, not just at pragma boundaries.
+    Op(u64),
+    /// In the middle of the rank's next checkpoint commit: after the late
+    /// log has been written but before the commit marker — the classic
+    /// torn-commit crash window.
+    DuringCommit,
+    /// While the rank is in `Restore` mode, at its `n`-th receive served
+    /// from the replay log (1-based). Only meaningful for faults armed on a
+    /// restart incarnation; a fresh run is never in `Restore`.
+    DuringRestore {
+        /// Which replayed receive kills the rank (1-based; 0 acts as 1).
+        nth_replay: u64,
+    },
 }
 
-/// A deterministic, one-shot fail-stop fault.
-#[derive(Clone, Copy, Debug)]
+impl std::fmt::Display for FailAt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailAt::Pragma(p) => write!(f, "pragma({p})"),
+            FailAt::AfterCommits { commits, pragma } => {
+                write!(f, "after-commits({commits})@pragma({pragma})")
+            }
+            FailAt::Op(n) => write!(f, "op({n})"),
+            FailAt::DuringCommit => write!(f, "during-commit"),
+            FailAt::DuringRestore { nth_replay } => write!(f, "during-restore({nth_replay})"),
+        }
+    }
+}
+
+/// One deterministic fail-stop fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FailurePlan {
     /// The rank that fails.
     pub rank: usize,
@@ -41,28 +84,181 @@ pub struct FailurePlan {
     pub when: FailAt,
 }
 
-impl FailurePlan {
-    fn trigger(&self) -> Arc<FailureTrigger> {
-        let (at_pragma, min_commits) = match self.when {
-            FailAt::Pragma(p) => (p, 0),
-            FailAt::AfterCommits { commits, pragma } => (pragma, commits),
-        };
-        Arc::new(FailureTrigger {
-            rank: self.rank,
-            at_pragma,
-            min_commits,
-            fired: AtomicBool::new(false),
-        })
+impl std::fmt::Display for FailurePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank{}@{}", self.rank, self.when)
     }
 }
 
-/// The outcome of a run that survived one or more injected failures.
+/// An ordered sequence of fail-stop faults applied across successive job
+/// incarnations: fault 0 is armed on the fresh run; after it fires and the
+/// job restarts from its recovery line, fault 1 is armed on the restarted
+/// incarnation, and so on. Faults that never fire (the job completes first)
+/// are simply unspent budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The faults, in arming order.
+    pub faults: Vec<FailurePlan>,
+}
+
+/// The space [`ChaosPlan::from_seed`] samples from — bounds chosen per
+/// workload so derived faults have a realistic chance of firing.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosSpace {
+    /// Ranks in the job.
+    pub nranks: usize,
+    /// Upper bound (inclusive) for pragma-indexed faults.
+    pub max_pragma: u64,
+    /// Upper bound (inclusive) for op-clock-indexed faults.
+    pub max_op: u64,
+}
+
+impl ChaosPlan {
+    /// The seed behavior: a plan of exactly one fault.
+    pub fn single(fault: FailurePlan) -> Self {
+        ChaosPlan { faults: vec![fault] }
+    }
+
+    /// Derive a plan from a deterministic RNG: 1–3 faults with random ranks
+    /// and fire points drawn from `space`. The same `(seed, space)` always
+    /// yields the same plan, which is what makes a failing seed a
+    /// reproduction recipe.
+    pub fn from_seed(seed: u64, space: &ChaosSpace) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nfaults = 1 + rng.gen_range(0..3) as usize;
+        let mut faults = Vec::with_capacity(nfaults);
+        for i in 0..nfaults {
+            let rank = rng.gen_range(0..space.nranks as u32) as usize;
+            // Restore-phase faults only make sense once a restart happened.
+            let nvariants = if i == 0 { 4 } else { 5 };
+            let when = match rng.gen_range(0..nvariants) {
+                0 => FailAt::Pragma(1 + rng.gen_range(0..space.max_pragma.max(1) as u32) as u64),
+                1 => FailAt::AfterCommits {
+                    commits: 1 + rng.gen_range(0..2) as u64,
+                    pragma: 1 + rng.gen_range(0..space.max_pragma.max(1) as u32) as u64,
+                },
+                2 => FailAt::Op(1 + rng.gen_range(0..space.max_op.max(1) as u32) as u64),
+                3 => FailAt::DuringCommit,
+                _ => FailAt::DuringRestore { nth_replay: 1 + rng.gen_range(0..4) as u64 },
+            };
+            faults.push(FailurePlan { rank, when });
+        }
+        ChaosPlan { faults }
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True for the empty plan (no injection at all).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+impl std::fmt::Display for ChaosPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Greedily shrink a failing plan to a minimal one: repeatedly try dropping
+/// whole faults, lowering ranks, and reducing fire points (halving, then
+/// decrementing), keeping every candidate for which `still_fails` holds.
+/// `still_fails(&plan)` must be true for the input plan; the result is a
+/// plan that still fails but from which no single greedy step can be
+/// removed.
+pub fn shrink_plan(plan: &ChaosPlan, still_fails: impl Fn(&ChaosPlan) -> bool) -> ChaosPlan {
+    let mut cur = plan.clone();
+    // Bounded: each accepted step strictly shrinks a finite measure.
+    'outer: for _ in 0..10_000 {
+        // 1. Drop a whole fault.
+        if cur.faults.len() > 1 {
+            for i in 0..cur.faults.len() {
+                let mut cand = cur.clone();
+                cand.faults.remove(i);
+                if still_fails(&cand) {
+                    cur = cand;
+                    continue 'outer;
+                }
+            }
+        }
+        // 2. Simplify one fault in place.
+        for i in 0..cur.faults.len() {
+            for cand_fault in simpler(&cur.faults[i]) {
+                let mut cand = cur.clone();
+                cand.faults[i] = cand_fault;
+                if still_fails(&cand) {
+                    cur = cand;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    cur
+}
+
+/// Strictly-simpler single-step candidates for one fault (smaller rank,
+/// halved/decremented fire point, simpler variant).
+fn simpler(f: &FailurePlan) -> Vec<FailurePlan> {
+    let mut out = Vec::new();
+    if f.rank > 0 {
+        out.push(FailurePlan { rank: 0, when: f.when });
+        out.push(FailurePlan { rank: f.rank - 1, when: f.when });
+    }
+    let mut whens = Vec::new();
+    match f.when {
+        FailAt::Pragma(p) if p > 1 => {
+            whens.push(FailAt::Pragma(p / 2));
+            whens.push(FailAt::Pragma(p - 1));
+        }
+        FailAt::AfterCommits { commits, pragma } => {
+            whens.push(FailAt::Pragma(pragma));
+            if pragma > 1 {
+                whens.push(FailAt::AfterCommits { commits, pragma: pragma / 2 });
+                whens.push(FailAt::AfterCommits { commits, pragma: pragma - 1 });
+            }
+            if commits > 0 {
+                whens.push(FailAt::AfterCommits { commits: commits - 1, pragma });
+            }
+        }
+        FailAt::Op(n) if n > 1 => {
+            whens.push(FailAt::Op(n / 2));
+            whens.push(FailAt::Op(n - 1));
+        }
+        FailAt::DuringCommit => whens.push(FailAt::Pragma(1)),
+        FailAt::DuringRestore { nth_replay } if nth_replay > 1 => {
+            whens.push(FailAt::DuringRestore { nth_replay: nth_replay / 2 });
+            whens.push(FailAt::DuringRestore { nth_replay: nth_replay - 1 });
+        }
+        _ => {}
+    }
+    out.extend(whens.into_iter().map(|when| FailurePlan { rank: f.rank, when }));
+    out
+}
+
+/// The outcome of a run that survived zero or more injected failures.
 #[derive(Debug)]
 pub struct RecoveredJob<T> {
     /// The completed job (per-rank results and statistics).
     pub handle: JobHandle<T>,
     /// How many times the job was restarted from a recovery line.
     pub restarts: u32,
+    /// How many faults of the plan actually fired (= restarts; kept
+    /// separately so callers can compare against the plan length).
+    pub faults_fired: u32,
+    /// The globally committed recovery line observed at each restart, in
+    /// order — non-decreasing by the forward-progress invariant.
+    pub lines: Vec<u64>,
 }
 
 fn run_attempt<T, F>(
@@ -106,8 +302,81 @@ where
     run_attempt(spec, cfg, None, true, &app)
 }
 
-/// Run with a planned fail-stop fault; on failure, restart from the last
-/// committed recovery line until the job completes.
+/// The recovery line currently committed on *every* rank (0 if none).
+fn committed_line(spec: &JobSpec, cfg: &C3Config) -> u64 {
+    let store = match CkptStore::new(&cfg.store_root) {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    (0..spec.nranks).map(|r| store.last_committed(r).unwrap_or(0)).min().unwrap_or(0)
+}
+
+/// Run with an ordered chaos plan; after each injected death, restart from
+/// the last committed recovery line with the next fault armed, until the
+/// application completes.
+///
+/// Forward progress is asserted on every restart: an abort is only accepted
+/// when the armed fault actually fired (any other abort propagates as an
+/// error, so a wedged protocol cannot be papered over by retries), each
+/// restart consumes exactly one fault of the plan's budget, and the
+/// committed recovery line never regresses.
+pub fn run_job_with_chaos<T, F>(
+    spec: &JobSpec,
+    cfg: &C3Config,
+    plan: &ChaosPlan,
+    app: F,
+) -> Result<RecoveredJob<T>, JobError>
+where
+    T: Send,
+    F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
+{
+    let mut restarts = 0u32;
+    let mut restore = false;
+    let mut fault_idx = 0usize;
+    let mut lines = Vec::new();
+    loop {
+        let trigger = plan.faults.get(fault_idx).map(|f| Arc::new(FailureTrigger::new(*f)));
+        match run_attempt(spec, cfg, trigger, restore, &app) {
+            Ok(handle) => {
+                return Ok(RecoveredJob { handle, restarts, faults_fired: fault_idx as u32, lines })
+            }
+            Err(JobError::Aborted { reason }) => {
+                // Only a death we injected ourselves justifies a restart.
+                if !reason.contains(INJECTED_FAULT_MARKER) {
+                    return Err(JobError::Aborted { reason });
+                }
+                // Forward-progress invariants surface as errors, not panics,
+                // so a soak harness can record and shrink exactly this
+                // failure class instead of losing the whole sweep.
+                if fault_idx >= plan.faults.len() {
+                    return Err(JobError::Aborted {
+                        reason: format!(
+                            "chaos driver invariant violated: abort marked as injected \
+                             but the plan is exhausted ({reason})"
+                        ),
+                    });
+                }
+                let line = committed_line(spec, cfg);
+                if lines.last().is_some_and(|prev| line < *prev) {
+                    return Err(JobError::Aborted {
+                        reason: format!(
+                            "chaos driver invariant violated: committed recovery line \
+                             regressed to {line} after {lines:?}"
+                        ),
+                    });
+                }
+                lines.push(line);
+                fault_idx += 1;
+                restarts += 1;
+                restore = true;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+/// Run with a single planned fail-stop fault (the seed's surface): a
+/// [`ChaosPlan`] of length 1.
 pub fn run_job_with_failure<T, F>(
     spec: &JobSpec,
     cfg: &C3Config,
@@ -118,20 +387,116 @@ where
     T: Send,
     F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
 {
-    let trigger = plan.trigger();
-    let mut restarts = 0u32;
-    let mut restore = false;
-    loop {
-        match run_attempt(spec, cfg, Some(trigger.clone()), restore, &app) {
-            Ok(handle) => return Ok(RecoveredJob { handle, restarts }),
-            Err(JobError::Aborted { reason }) => {
-                if !trigger.fired.load(Ordering::SeqCst) || restarts >= 8 {
-                    return Err(JobError::Aborted { reason });
+    run_job_with_chaos(spec, cfg, &ChaosPlan::single(plan), app)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic_and_in_bounds() {
+        let space = ChaosSpace { nranks: 4, max_pragma: 10, max_op: 200 };
+        for seed in 0..500u64 {
+            let a = ChaosPlan::from_seed(seed, &space);
+            let b = ChaosPlan::from_seed(seed, &space);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!((1..=3).contains(&a.len()), "seed {seed}: {} faults", a.len());
+            for (i, f) in a.faults.iter().enumerate() {
+                assert!(f.rank < 4);
+                match f.when {
+                    FailAt::Pragma(p) => assert!((1..=10).contains(&p)),
+                    FailAt::AfterCommits { commits, pragma } => {
+                        assert!((1..=2).contains(&commits) && (1..=10).contains(&pragma))
+                    }
+                    FailAt::Op(n) => assert!((1..=200).contains(&n)),
+                    FailAt::DuringCommit => {}
+                    FailAt::DuringRestore { nth_replay } => {
+                        assert!(i > 0, "seed {seed}: restore fault on the fresh incarnation");
+                        assert!((1..=4).contains(&nth_replay));
+                    }
                 }
-                restarts += 1;
-                restore = true;
             }
-            Err(other) => return Err(other),
         }
+    }
+
+    #[test]
+    fn seeds_cover_every_variant() {
+        let space = ChaosSpace { nranks: 4, max_pragma: 10, max_op: 200 };
+        let mut seen = [false; 5];
+        for seed in 0..200u64 {
+            for f in ChaosPlan::from_seed(seed, &space).faults {
+                match f.when {
+                    FailAt::Pragma(_) => seen[0] = true,
+                    FailAt::AfterCommits { .. } => seen[1] = true,
+                    FailAt::Op(_) => seen[2] = true,
+                    FailAt::DuringCommit => seen[3] = true,
+                    FailAt::DuringRestore { .. } => seen[4] = true,
+                }
+            }
+        }
+        assert_eq!(seen, [true; 5], "200 seeds should hit every fault variant");
+    }
+
+    #[test]
+    fn shrinker_reduces_a_known_bad_plan_to_its_minimal_core() {
+        // Synthetic oracle: the plan "fails" iff it contains an op fault
+        // with op >= 10. The minimal reproduction is a single rank-0 fault
+        // at exactly op 10.
+        let bad = ChaosPlan {
+            faults: vec![
+                FailurePlan { rank: 1, when: FailAt::Pragma(7) },
+                FailurePlan { rank: 3, when: FailAt::Op(123) },
+                FailurePlan { rank: 2, when: FailAt::DuringRestore { nth_replay: 3 } },
+            ],
+        };
+        let fails = |p: &ChaosPlan| {
+            p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10))
+        };
+        assert!(fails(&bad));
+        let min = shrink_plan(&bad, fails);
+        assert_eq!(
+            min,
+            ChaosPlan::single(FailurePlan { rank: 0, when: FailAt::Op(10) }),
+            "got {min}"
+        );
+    }
+
+    #[test]
+    fn shrinker_keeps_multi_fault_cores_when_both_faults_matter() {
+        // Oracle needs one pragma fault AND one during-restore fault.
+        let bad = ChaosPlan {
+            faults: vec![
+                FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 2, pragma: 9 } },
+                FailurePlan { rank: 1, when: FailAt::Op(50) },
+                FailurePlan { rank: 3, when: FailAt::DuringRestore { nth_replay: 4 } },
+            ],
+        };
+        let fails = |p: &ChaosPlan| {
+            p.faults.iter().any(|f| matches!(f.when, FailAt::Pragma(_) | FailAt::AfterCommits { .. }))
+                && p.faults.iter().any(|f| matches!(f.when, FailAt::DuringRestore { .. }))
+        };
+        assert!(fails(&bad));
+        let min = shrink_plan(&bad, fails);
+        assert_eq!(min.len(), 2, "got {min}");
+        assert_eq!(
+            min.faults,
+            vec![
+                FailurePlan { rank: 0, when: FailAt::Pragma(1) },
+                FailurePlan { rank: 0, when: FailAt::DuringRestore { nth_replay: 1 } },
+            ],
+            "got {min}"
+        );
+    }
+
+    #[test]
+    fn display_is_a_readable_reproduction_recipe() {
+        let plan = ChaosPlan {
+            faults: vec![
+                FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 5 } },
+                FailurePlan { rank: 0, when: FailAt::DuringRestore { nth_replay: 2 } },
+            ],
+        };
+        assert_eq!(plan.to_string(), "[rank2@after-commits(1)@pragma(5), rank0@during-restore(2)]");
     }
 }

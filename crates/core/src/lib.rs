@@ -50,7 +50,10 @@ pub mod tables;
 pub use api::{C3Config, C3Ctx, C3Error, C3Stats, CkptPolicy};
 pub use comms::{C3Comm, COMM_WORLD_HANDLE};
 pub use topo::CartTopo;
-pub use failure::{run_job, run_job_restored, run_job_with_failure, FailAt, FailurePlan, RecoveredJob};
+pub use failure::{
+    run_job, run_job_restored, run_job_with_chaos, run_job_with_failure, shrink_plan, ChaosPlan,
+    ChaosSpace, FailAt, FailurePlan, RecoveredJob,
+};
 pub use mode::Mode;
 pub use piggyback::{MsgClass, PigData};
 pub use registries::{StreamKind, StreamSig};

@@ -39,6 +39,16 @@ impl<'a> C3Ctx<'a> {
         cfg: C3Config,
         failure: Option<Arc<FailureTrigger>>,
     ) -> Result<Self> {
+        // Op-indexed faults are delegated to the substrate's watchdog so
+        // they can land inside collectives, the control plane, and the
+        // restore handshake — places the protocol layer never sees.
+        if let Some(f) = &failure {
+            if f.plan.rank == mpi.rank() {
+                if let crate::failure::FailAt::Op(n) = f.plan.when {
+                    mpi.set_fail_at_op(Some(n));
+                }
+            }
+        }
         let n = mpi.nranks();
         let store = CkptStore::new(&cfg.store_root)?;
         Ok(C3Ctx {
@@ -192,14 +202,20 @@ impl<'a> C3Ctx<'a> {
     // ==================================================================
 
     /// Classify an arrived message by its piggybacked bits.
-    pub(crate) fn classify(&self, piggyback: u8) -> (MsgClass, bool) {
+    ///
+    /// Public (together with [`C3Ctx::apply_arrival`]) as the protocol's
+    /// verification seam: property tests drive arbitrary piggyback bytes
+    /// through the real classification and arrival effects against a
+    /// reference model. Applications never need to call it.
+    pub fn classify(&self, piggyback: u8) -> (MsgClass, bool) {
         let (color, logging) = piggyback::decode(piggyback);
         (piggyback::classify(self.epoch, color), logging)
     }
 
     /// Apply the protocol effects of receiving a message: counters, logging,
-    /// early recording, and mode transitions.
-    pub(crate) fn apply_arrival(
+    /// early recording, and mode transitions. Public as a verification seam
+    /// (see [`C3Ctx::classify`]); wrapped operations call it internally.
+    pub fn apply_arrival(
         &mut self,
         class: MsgClass,
         sender_logging: bool,
@@ -303,7 +319,7 @@ impl<'a> C3Ctx<'a> {
                     Some(data) => {
                         // Late message: "the data for that receive is
                         // received from this registry".
-                        self.stats.replayed_recvs += 1;
+                        self.note_replayed()?;
                         let st = synth_status(&entry.sig, data.len());
                         self.check_restore_done();
                         return Ok((data, st));
@@ -351,7 +367,7 @@ impl<'a> C3Ctx<'a> {
         let kind = StreamKind::Coll { call };
         if self.mode == Mode::Restore {
             if let Some(data) = self.replay.take_coll_match(comm, call, src) {
-                self.stats.replayed_recvs += 1;
+                self.note_replayed()?;
                 self.check_restore_done();
                 return Ok(data);
             }
@@ -590,7 +606,7 @@ impl<'a> C3Ctx<'a> {
                     // Put it back and let wait_restore consume it in order.
                     match entry.data {
                         Some(d) => {
-                            self.stats.replayed_recvs += 1;
+                            self.note_replayed()?;
                             let st = synth_status(&entry.sig, d.len());
                             self.reqs.release(*r, false);
                             self.check_restore_done();
@@ -887,7 +903,7 @@ impl<'a> C3Ctx<'a> {
         if let Some(entry) = self.replay.take_p2p_match(src, tag, comm) {
             match entry.data {
                 Some(data) => {
-                    self.stats.replayed_recvs += 1;
+                    self.note_replayed()?;
                     let st = synth_status(&entry.sig, data.len());
                     self.reqs.release(r, false);
                     self.check_restore_done();
@@ -917,6 +933,59 @@ impl<'a> C3Ctx<'a> {
     }
 
     // ==================================================================
+    // Fault injection hooks (the chaos engine's protocol-layer instants)
+    // ==================================================================
+
+    /// The armed fault, if it targets this rank and has not fired yet.
+    fn armed_failure(&self) -> Option<Arc<FailureTrigger>> {
+        match &self.failure {
+            Some(f) if f.plan.rank == self.mpi.rank() && !f.fired.load(Ordering::SeqCst) => {
+                Some(Arc::clone(f))
+            }
+            _ => None,
+        }
+    }
+
+    /// Fire the armed fault: mark it, poison the job with the injected
+    /// marker, and surface `Aborted` to the application.
+    fn fire_failure<T>(&mut self, f: &FailureTrigger, what: &str) -> Result<T> {
+        f.fired.store(true, Ordering::SeqCst);
+        let reason =
+            format!("{} at rank {} ({what})", mpisim::INJECTED_FAULT_MARKER, self.mpi.rank());
+        self.mpi.fail_stop(&reason);
+        Err(C3Error::Mpi(MpiError::Aborted))
+    }
+
+    /// Torn-commit crash window: called between writing the late log and
+    /// writing the commit marker (see `ckpt::write_commit_sections`).
+    pub(crate) fn maybe_fail_during_commit(&mut self) -> Result<()> {
+        if let Some(f) = self.armed_failure() {
+            if matches!(f.plan.when, crate::failure::FailAt::DuringCommit) {
+                return self.fire_failure(&f, &format!("mid-commit of line {}", self.epoch));
+            }
+        }
+        Ok(())
+    }
+
+    /// Count one receive served from the replay log; a `DuringRestore`
+    /// fault kills the rank at its n-th replayed receive — mid-recovery,
+    /// while peers may themselves still be replaying.
+    fn note_replayed(&mut self) -> Result<()> {
+        self.stats.replayed_recvs += 1;
+        if let Some(f) = self.armed_failure() {
+            if let crate::failure::FailAt::DuringRestore { nth_replay } = f.plan.when {
+                if self.stats.replayed_recvs >= nth_replay.max(1) {
+                    return self.fire_failure(
+                        &f,
+                        &format!("replay {} during restore", self.stats.replayed_recvs),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ==================================================================
     // The checkpoint pragma and checkpoint actions (Fig. 5)
     // ==================================================================
 
@@ -927,19 +996,19 @@ impl<'a> C3Ctx<'a> {
     /// only when a checkpoint is actually taken.
     pub fn pragma<F: FnOnce(&mut Encoder)>(&mut self, save: F) -> Result<bool> {
         self.pragma_count += 1;
-        if let Some(f) = self.failure.clone() {
-            if f.rank == self.mpi.rank()
-                && !f.fired.load(Ordering::SeqCst)
-                && self.commit_count >= f.min_commits
-                && self.pragma_count >= f.at_pragma
-            {
-                f.fired.store(true, Ordering::SeqCst);
-                let reason = format!(
-                    "injected fail-stop at rank {} (pragma {}, {} commits)",
-                    f.rank, self.pragma_count, self.commit_count
+        if let Some(f) = self.armed_failure() {
+            let hit = match f.plan.when {
+                crate::failure::FailAt::Pragma(p) => self.pragma_count >= p,
+                crate::failure::FailAt::AfterCommits { commits, pragma } => {
+                    self.commit_count >= commits && self.pragma_count >= pragma
+                }
+                _ => false,
+            };
+            if hit {
+                return self.fire_failure(
+                    &f,
+                    &format!("pragma {}, {} commits", self.pragma_count, self.commit_count),
                 );
-                self.mpi.fail_stop(&reason);
-                return Err(C3Error::Mpi(MpiError::Aborted));
             }
         }
         self.drain_control()?;

@@ -81,11 +81,17 @@ pub fn fold_into(op: &ReduceOp, acc: &mut [u8], next: &[u8], ty: BasicType) -> R
 }
 
 impl RankCtx {
-    fn coll_tag(&mut self, comm: CommId) -> Tag {
+    /// Allocate the matching tag for the next collective call on `comm`.
+    /// Every collective enters through here exactly once, which is also
+    /// where the collective ticks the rank's operation clock — so an
+    /// op-targeted fault can land *inside* a collective, between its
+    /// constituent streams, exactly as the fail-stop model permits.
+    fn coll_tag(&mut self, comm: CommId) -> Result<Tag> {
+        self.tick_op()?;
         let c = self.coll_seq.entry(comm).or_insert(0);
         let t = (*c % (1 << 30)) as Tag;
         *c += 1;
-        t
+        Ok(t)
     }
 
     /// Number of collective calls issued so far on `comm`. The protocol
@@ -106,7 +112,7 @@ impl RankCtx {
     pub fn bcast(&mut self, comm: CommId, root: Rank, data: &mut Vec<u8>, my_pig: u8) -> Result<u8> {
         let n = self.nranks();
         let me = self.rank();
-        let tag = self.coll_tag(comm);
+        let tag = self.coll_tag(comm)?;
         let shadow = comm.collective_shadow();
         if n == 1 {
             return Ok(my_pig);
@@ -161,7 +167,7 @@ impl RankCtx {
     ) -> Result<Option<GatheredParts>> {
         let n = self.nranks();
         let me = self.rank();
-        let tag = self.coll_tag(comm);
+        let tag = self.coll_tag(comm)?;
         let shadow = comm.collective_shadow();
         if me != root {
             self.send_bytes(root, tag, shadow, my_pig, mine)?;
@@ -191,7 +197,7 @@ impl RankCtx {
     ) -> Result<(Vec<u8>, u8)> {
         let n = self.nranks();
         let me = self.rank();
-        let tag = self.coll_tag(comm);
+        let tag = self.coll_tag(comm)?;
         let shadow = comm.collective_shadow();
         if me == root {
             let parts = parts.ok_or_else(|| MpiError::InvalidArg("root must supply parts".into()))?;
@@ -241,7 +247,7 @@ impl RankCtx {
         if parts.len() != n {
             return Err(MpiError::InvalidArg(format!("alltoall needs {n} parts, got {}", parts.len())));
         }
-        let tag = self.coll_tag(comm);
+        let tag = self.coll_tag(comm)?;
         let shadow = comm.collective_shadow();
         let mut out: Vec<Option<(CollPig, Vec<u8>)>> = (0..n).map(|_| None).collect();
         out[me] = Some((CollPig { src: me, pig: my_pig }, parts[me].clone()));
@@ -349,7 +355,7 @@ impl RankCtx {
     ) -> Result<(Vec<u8>, Vec<CollPig>)> {
         let n = self.nranks();
         let me = self.rank();
-        let tag = self.coll_tag(comm);
+        let tag = self.coll_tag(comm)?;
         let shadow = comm.collective_shadow();
         let mut result = data.to_vec();
         let mut pigs: Vec<CollPig> = Vec::with_capacity(me + 1);

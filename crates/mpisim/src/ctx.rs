@@ -36,6 +36,18 @@ pub struct RankCtx {
     pub(crate) coll_seq: HashMap<CommId, u64>,
     /// Virtual clock in nanoseconds under the cluster model.
     vclock: u64,
+    /// Monotone *operation clock*: ticks once at the initiation of every
+    /// definite MPI operation this rank issues (sends, posted receives,
+    /// waits, collective entries). Polling calls (`test`, `try_recv_bytes`,
+    /// `iprobe`) do not tick, so the clock is a pure function of the
+    /// application's call sequence rather than of thread timing — the
+    /// property a deterministic chaos engine needs to target "rank r's n-th
+    /// MPI operation".
+    op_clock: u64,
+    /// Fail-stop watchdog: when set, the rank poisons the job the moment its
+    /// op clock reaches this value (fault injection *inside* collectives and
+    /// protocol-layer traffic, not just at application pragmas).
+    fail_at_op: Option<u64>,
 }
 
 impl RankCtx {
@@ -51,6 +63,8 @@ impl RankCtx {
             send_seq: vec![0; nranks],
             coll_seq: HashMap::new(),
             vclock: 0,
+            op_clock: 0,
+            fail_at_op: None,
         }
     }
 
@@ -97,6 +111,41 @@ impl RankCtx {
     /// issued operation returns `Aborted`.
     pub fn fail_stop(&self, reason: &str) {
         self.net.poison(reason);
+    }
+
+    /// Current value of the per-rank operation clock (see the field docs for
+    /// what counts as an operation).
+    #[inline]
+    pub fn op_clock(&self) -> u64 {
+        self.op_clock
+    }
+
+    /// Arm (or disarm) the deterministic fail-stop watchdog: the rank
+    /// fail-stops when its op clock reaches `at`. The poison reason starts
+    /// with [`crate::INJECTED_FAULT_MARKER`] so drivers can tell the
+    /// injected death from a genuine failure.
+    pub fn set_fail_at_op(&mut self, at: Option<u64>) {
+        self.fail_at_op = at;
+    }
+
+    /// Tick the operation clock; fire the watchdog if armed and due.
+    /// `pub(crate)` so collectives (a sibling module) tick at their entry.
+    #[inline]
+    pub(crate) fn tick_op(&mut self) -> Result<()> {
+        self.op_clock += 1;
+        if let Some(n) = self.fail_at_op {
+            if self.op_clock >= n {
+                self.fail_at_op = None;
+                self.net.poison(&format!(
+                    "{} at rank {} (op {})",
+                    crate::INJECTED_FAULT_MARKER,
+                    self.rank,
+                    self.op_clock
+                ));
+                return Err(MpiError::Aborted);
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -146,6 +195,7 @@ impl RankCtx {
         payload: Payload,
     ) -> Result<()> {
         self.check_abort()?;
+        self.tick_op()?;
         if dst >= self.nranks {
             return Err(MpiError::InvalidArg(format!("destination {dst} out of range")));
         }
@@ -295,6 +345,7 @@ impl RankCtx {
     /// Post a non-blocking receive (wildcards allowed).
     pub fn irecv_bytes(&mut self, src: i32, tag: Tag, comm: CommId) -> Result<ReqId> {
         self.check_abort()?;
+        self.tick_op()?;
         Ok(self.reqs.add_recv(src, tag, comm))
     }
 
@@ -333,6 +384,7 @@ impl RankCtx {
     /// Block until a request completes; consume it, returning the shared
     /// payload view for receives.
     pub fn wait_payload_view(&mut self, req: ReqId) -> Result<(Status, Option<Payload>)> {
+        self.tick_op()?;
         loop {
             self.check_abort()?;
             self.reqs.progress(self.net.mailbox(self.rank));
@@ -358,6 +410,7 @@ impl RankCtx {
         if reqs.is_empty() {
             return Err(MpiError::InvalidArg("wait_any on empty request list".into()));
         }
+        self.tick_op()?;
         loop {
             self.check_abort()?;
             self.reqs.progress(self.net.mailbox(self.rank));
@@ -379,6 +432,7 @@ impl RankCtx {
         if reqs.is_empty() {
             return Err(MpiError::InvalidArg("wait_some on empty request list".into()));
         }
+        self.tick_op()?;
         loop {
             self.check_abort()?;
             self.reqs.progress(self.net.mailbox(self.rank));
@@ -442,7 +496,7 @@ impl RankCtx {
 mod tests {
     use super::*;
     use crate::network::{ClusterModel, ReorderModel};
-    use crate::ANY_SOURCE;
+    use crate::{ANY_SOURCE, ANY_TAG};
 
     fn pair() -> (RankCtx, RankCtx) {
         let net = Arc::new(Network::new(2, ClusterModel::ideal(), ReorderModel::None, 1));
@@ -499,6 +553,51 @@ mod tests {
         let (hits, misses, recycled) = tx.network().pool().stats();
         assert!(hits >= 15, "expected lease reuse, got hits={hits} misses={misses}");
         assert!(recycled >= 15);
+    }
+
+    #[test]
+    fn op_clock_is_a_pure_function_of_the_call_sequence() {
+        let run = || {
+            let (mut tx, mut rx) = pair();
+            tx.send_bytes(1, 1, COMM_WORLD, 0, &[1, 2, 3]).unwrap();
+            tx.send_bytes(1, 2, COMM_WORLD, 0, &[4]).unwrap();
+            let _ = rx.recv_bytes(0, 1, COMM_WORLD).unwrap();
+            let _ = rx.recv_bytes(0, 2, COMM_WORLD).unwrap();
+            // Polling calls must NOT tick: their count depends on timing.
+            let _ = rx.try_recv_bytes(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+            let _ = rx.iprobe(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+            (tx.op_clock(), rx.op_clock())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "op clock diverged across identical runs");
+        assert_eq!(a.0, 2, "two sends tick twice");
+        assert_eq!(a.1, 4, "two blocking receives tick twice each (post + wait)");
+    }
+
+    #[test]
+    fn fail_at_op_watchdog_poisons_with_the_injected_marker() {
+        let (mut tx, _rx) = pair();
+        tx.set_fail_at_op(Some(3));
+        tx.send_bytes(1, 1, COMM_WORLD, 0, &[0]).unwrap();
+        tx.send_bytes(1, 1, COMM_WORLD, 0, &[0]).unwrap();
+        let err = tx.send_bytes(1, 1, COMM_WORLD, 0, &[0]).unwrap_err();
+        assert_eq!(err, MpiError::Aborted);
+        let reason = tx.network().poison_reason().unwrap();
+        assert!(reason.starts_with(crate::INJECTED_FAULT_MARKER), "reason: {reason}");
+        assert!(reason.contains("op 3"), "reason: {reason}");
+    }
+
+    #[test]
+    fn collectives_tick_the_op_clock_at_entry() {
+        let net = Arc::new(Network::new(1, ClusterModel::ideal(), ReorderModel::None, 1));
+        let mut solo = RankCtx::new(0, net);
+        // Single-rank bcast takes the early-return path but still ticks.
+        let mut data = vec![1u8];
+        solo.bcast(COMM_WORLD, 0, &mut data, 0).unwrap();
+        assert_eq!(solo.op_clock(), 1);
+        solo.set_fail_at_op(Some(2));
+        assert_eq!(solo.bcast(COMM_WORLD, 0, &mut data, 0).unwrap_err(), MpiError::Aborted);
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub use world::{launch, JobError, JobHandle, JobSpec};
 /// A process index in the world communicator (`0..nranks`).
 pub type Rank = usize;
 
+/// Prefix of every poison reason produced by *deliberate* fault injection
+/// (the substrate's op-clock watchdog and any protocol-layer injector). A
+/// recovery driver distinguishes injected fail-stops from genuine errors by
+/// this marker, never by exit codes or timing.
+pub const INJECTED_FAULT_MARKER: &str = "injected fail-stop";
+
 /// A message tag. Non-negative in applications; negative values are reserved
 /// for wildcards and internal use.
 pub type Tag = i32;

@@ -35,4 +35,4 @@ pub use incremental::IncrementalSaver;
 pub use memmgr::{scratch, CkptHeap, ObjId, ScratchPool};
 pub use registry::{TypeCode, VarDesc, VariableRegistry};
 pub use slc::SlcCheckpointer;
-pub use store::CkptStore;
+pub use store::{CkptStore, TempStore};

@@ -142,6 +142,52 @@ impl CkptStore {
     }
 }
 
+/// A uniquely named store root under the system temp dir, removed on drop —
+/// shared test/bench support so every harness gets the same RAII semantics:
+/// the directory is deleted on clean drop but *kept* (with its path printed)
+/// when the thread is panicking, so the on-disk checkpoint state of a failed
+/// run can be inspected post-mortem.
+#[derive(Debug)]
+pub struct TempStore {
+    path: PathBuf,
+}
+
+impl TempStore {
+    /// Reserve a fresh directory path. The store itself is created lazily by
+    /// [`CkptStore::new`]; this only guarantees uniqueness and cleans up any
+    /// stale leftover of the same name.
+    pub fn new(name: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "c3-store-{name}-{}-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        let _ = fs::remove_dir_all(&path);
+        TempStore { path }
+    }
+
+    /// The store root, for `C3Config`-style constructors.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("keeping checkpoint store for post-mortem: {}", self.path.display());
+        } else {
+            let _ = fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,24 +3,17 @@
 //! traffic (p2p and collectives) runs through the same protocol streams as
 //! world traffic, so recovery replays and suppresses it identically.
 
+mod util;
+
 use c3::{C3Comm, C3Config, C3Ctx, C3Error, FailAt, FailurePlan};
 use mpisim::{JobSpec, ReduceOp};
 use statesave::codec::{Decoder, Encoder};
-use std::path::PathBuf;
-
-fn tmp_store(name: &str) -> PathBuf {
-    let p = std::env::temp_dir().join(format!(
-        "c3-comm-{name}-{}-{}",
-        std::process::id(),
-        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
-    ));
-    let _ = std::fs::remove_dir_all(&p);
-    p
-}
+use util::TempStore;
 
 #[test]
 fn split_partitions_and_orders_by_key() {
-    let out = c3::run_job(&JobSpec::new(6), &C3Config::passive(tmp_store("split")), |ctx| {
+    let store = TempStore::new("split");
+    let out = c3::run_job(&JobSpec::new(6), &C3Config::passive(store.path()), |ctx| {
         let world = ctx.comm_world();
         // Even/odd split; keys reverse the world order inside each half.
         let color = (ctx.rank() % 2) as i64;
@@ -50,7 +43,8 @@ fn split_partitions_and_orders_by_key() {
 
 #[test]
 fn undefined_color_yields_none_but_participates() {
-    let out = c3::run_job(&JobSpec::new(4), &C3Config::passive(tmp_store("undef")), |ctx| {
+    let store = TempStore::new("undef");
+    let out = c3::run_job(&JobSpec::new(4), &C3Config::passive(store.path()), |ctx| {
         let world = ctx.comm_world();
         let color = if ctx.rank() < 2 { Some(0) } else { None };
         let sub = ctx.comm_split(world, color, 0)?;
@@ -62,7 +56,8 @@ fn undefined_color_yields_none_but_participates() {
 
 #[test]
 fn subgroup_collectives_and_p2p() {
-    let out = c3::run_job(&JobSpec::new(6), &C3Config::passive(tmp_store("coll")), |ctx| {
+    let store = TempStore::new("coll");
+    let out = c3::run_job(&JobSpec::new(6), &C3Config::passive(store.path()), |ctx| {
         let world = ctx.comm_world();
         let color = (ctx.rank() / 3) as i64; // {0,1,2} and {3,4,5}
         let sub = ctx.comm_split(world, Some(color), 0)?.expect("member");
@@ -100,7 +95,8 @@ fn same_tag_different_comms_do_not_cross() {
     // Two sibling split communicators with overlapping tags: a message sent
     // on one must never match a receive on the other, even with identical
     // (world-src, tag) pairs — the derived wire ids separate them.
-    let out = c3::run_job(&JobSpec::new(2), &C3Config::passive(tmp_store("cross")), |ctx| {
+    let store = TempStore::new("cross");
+    let out = c3::run_job(&JobSpec::new(2), &C3Config::passive(store.path()), |ctx| {
         let world = ctx.comm_world();
         let a = ctx.comm_split(world, Some(0), 0)?.unwrap();
         let b = ctx.comm_dup(a)?;
@@ -123,7 +119,8 @@ fn same_tag_different_comms_do_not_cross() {
 
 #[test]
 fn comm_free_rejects_reuse_and_double_free() {
-    c3::run_job(&JobSpec::new(2), &C3Config::passive(tmp_store("free")), |ctx| {
+    let store = TempStore::new("free");
+    c3::run_job(&JobSpec::new(2), &C3Config::passive(store.path()), |ctx| {
         let world = ctx.comm_world();
         let sub = ctx.comm_dup(world)?;
         ctx.comm_free(sub)?;
@@ -183,9 +180,11 @@ fn derived_comms_survive_failure_and_recovery() {
     }
 
     let spec = JobSpec::new(4);
-    let baseline = c3::run_job(&spec, &C3Config::passive(tmp_store("rec-base")), app).unwrap();
+    let base_store = TempStore::new("rec-base");
+    let baseline = c3::run_job(&spec, &C3Config::passive(base_store.path()), app).unwrap();
 
-    let cfg = C3Config::at_pragmas(tmp_store("rec-fail"), vec![4]);
+    let store = TempStore::new("rec-fail");
+    let cfg = C3Config::at_pragmas(store.path(), vec![4]);
     let plan = FailurePlan { rank: 3, when: FailAt::AfterCommits { commits: 1, pragma: 7 } };
     let rec = c3::run_job_with_failure(&spec, &cfg, plan, app).unwrap();
     assert!(rec.restarts >= 1);
@@ -195,7 +194,8 @@ fn derived_comms_survive_failure_and_recovery() {
 /// Nested derivation: split a split, with traffic on all three levels.
 #[test]
 fn nested_splits() {
-    let out = c3::run_job(&JobSpec::new(8), &C3Config::passive(tmp_store("nest")), |ctx| {
+    let store = TempStore::new("nest");
+    let out = c3::run_job(&JobSpec::new(8), &C3Config::passive(store.path()), |ctx| {
         let world = ctx.comm_world();
         let half = ctx.comm_split(world, Some((ctx.rank() / 4) as i64), 0)?.unwrap();
         let quarter =
@@ -256,8 +256,10 @@ fn cart_topology_halo_exchange_recovers() {
     }
 
     let spec = JobSpec::new(4);
-    let baseline = c3::run_job(&spec, &C3Config::passive(tmp_store("cart-base")), app).unwrap();
-    let cfg = C3Config::at_pragmas(tmp_store("cart-fail"), vec![3]);
+    let base_store = TempStore::new("cart-base");
+    let baseline = c3::run_job(&spec, &C3Config::passive(base_store.path()), app).unwrap();
+    let store = TempStore::new("cart-fail");
+    let cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 6 } };
     let rec = c3::run_job_with_failure(&spec, &cfg, plan, app).unwrap();
     assert!(rec.restarts >= 1);

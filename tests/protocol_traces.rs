@@ -3,20 +3,12 @@
 //! Figure 5, and multi-initiator checkpoint rounds (§4.5 "can be initiated
 //! by any process").
 
-use c3::{C3Config, C3Ctx, C3Error, CkptPolicy, FailAt, FailurePlan};
+mod util;
+
+use c3::{C3Config, C3Ctx, C3Error, ChaosPlan, CkptPolicy, FailAt, FailurePlan};
 use mpisim::JobSpec;
 use statesave::codec::{Decoder, Encoder};
-use std::path::PathBuf;
-
-fn tmp_store(name: &str) -> PathBuf {
-    let p = std::env::temp_dir().join(format!(
-        "c3-trace-{name}-{}-{}",
-        std::process::id(),
-        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
-    ));
-    let _ = std::fs::remove_dir_all(&p);
-    p
-}
+use util::TempStore;
 
 /// Figure 2 as a deterministic script on three processes P=0, Q=1, R=2.
 ///
@@ -97,7 +89,8 @@ fn figure2_classifications_are_exact() {
     };
 
     // Rank 0 initiates at its 1st pragma.
-    let mut cfg = C3Config::at_pragmas(tmp_store("fig2"), vec![1]);
+    let store = TempStore::new("fig2");
+    let mut cfg = C3Config::at_pragmas(store.path(), vec![1]);
     cfg.initiator = Some(0);
     let out = c3::run_job(&JobSpec::new(3), &cfg, app).unwrap();
 
@@ -150,7 +143,8 @@ fn attached_buffer_survives_recovery() {
     }
 
     let spec = JobSpec::new(2);
-    let cfg = C3Config::at_pragmas(tmp_store("buf"), vec![3]);
+    let store = TempStore::new("buf");
+    let cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 1, when: FailAt::AfterCommits { commits: 1, pragma: 5 } };
     let rec = c3::run_job_with_failure(&spec, &cfg, plan, app).unwrap();
     assert_eq!(rec.restarts, 1);
@@ -186,10 +180,12 @@ fn concurrent_initiators_commit_and_recover() {
     }
 
     let spec = JobSpec::new(4);
-    let baseline = c3::run_job(&spec, &C3Config::passive(tmp_store("multi-base")), app).unwrap();
+    let base_store = TempStore::new("multi-base");
+    let baseline = c3::run_job(&spec, &C3Config::passive(base_store.path()), app).unwrap();
 
+    let store = TempStore::new("multi-fail");
     let cfg = C3Config {
-        store_root: tmp_store("multi-fail"),
+        store_root: store.path().to_path_buf(),
         write_disk: true,
         policy: CkptPolicy::EveryNth(5),
         initiator: None, // every rank initiates
@@ -206,8 +202,9 @@ fn concurrent_initiators_commit_and_recover() {
     );
     assert_eq!(sanity.results.iter().map(|(r, _)| *r).collect::<Vec<_>>(), baseline.results);
 
+    let store2 = TempStore::new("multi-fail2");
     let cfg2 = C3Config {
-        store_root: tmp_store("multi-fail2"),
+        store_root: store2.path().to_path_buf(),
         write_disk: true,
         policy: CkptPolicy::EveryNth(5),
         initiator: None,
@@ -216,4 +213,124 @@ fn concurrent_initiators_commit_and_recover() {
     let rec = c3::run_job_with_failure(&spec, &cfg2, plan, app).unwrap();
     assert!(rec.restarts >= 1);
     assert_eq!(rec.handle.results, baseline.results);
+}
+
+/// Failure *during recovery*: after a first death and restart, a second
+/// rank dies mid-replay — at the very instant it is consuming a logged late
+/// message — while its peers are themselves still working through their
+/// `Restore` phase. The job must take a third incarnation and still
+/// converge to the failure-free result.
+///
+/// The trace is sequenced so a late message deterministically exists in the
+/// replay log (same device as `figure2_classifications_are_exact`): Q's ACK
+/// orders Q's last pre-line pragma strictly before P's checkpoint, and P's
+/// GO orders Q's DATA send strictly after it, so DATA always crosses P's
+/// recovery line forward (Late) and is logged and replayed.
+#[test]
+fn second_failure_during_replay_converges() {
+    const ITERS: u64 = 8;
+
+    /// Spin (boundedly) until every rank's *local* commit count reached 1,
+    /// via an allreduce-min: all ranks observe the same folded value each
+    /// round, so they exit after the same number of collective calls. This
+    /// pins "the line is committed on every node" *before* the first death,
+    /// making the recovery source — and hence the replay-log contents the
+    /// second fault depends on — deterministic. Under a passive config the
+    /// min stays 0 and the loop just runs its bound.
+    fn commit_barrier(ctx: &mut C3Ctx<'_>) -> Result<(), C3Error> {
+        for _ in 0..200 {
+            if ctx.allreduce_u64(ctx.commits(), &mpisim::ReduceOp::Min)? >= 1 {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn app(ctx: &mut C3Ctx<'_>) -> Result<u64, C3Error> {
+        let (mut iter, mut acc, mut ack_done) = match ctx.take_restored_state() {
+            Some(b) => {
+                let mut d = Decoder::new(&b);
+                (d.u64()?, d.u64()?, d.bool()?)
+            }
+            None => (0, 0, false),
+        };
+        while iter < ITERS {
+            if iter == 4 {
+                commit_barrier(ctx)?;
+            }
+            match ctx.rank() {
+                0 => {
+                    // P: the ACK is consumed *before* the pragma, so the
+                    // saved flag tells a resumed run to skip re-receiving it.
+                    if !ack_done {
+                        let _ = ctx.recv::<u64>(1, 7)?;
+                    }
+                    ctx.pragma(|e: &mut Encoder| {
+                        e.u64(iter);
+                        e.u64(acc);
+                        e.bool(true);
+                    })?;
+                    ctx.send(1, 9, &[iter])?; // GO (early at Q on the ckpt round)
+                    ctx.send(2, 8, &[iter])?; // TOKEN
+                    let (v, _) = ctx.recv::<u64>(1, 2)?; // DATA (late on the ckpt round)
+                    acc = acc.wrapping_mul(31).wrapping_add(v[0]);
+                }
+                1 => {
+                    // Q: pragma first, then ACK → P's checkpoint (and its
+                    // CI) cannot exist before Q's pre-line pragma ran.
+                    ctx.pragma(|e: &mut Encoder| {
+                        e.u64(iter);
+                        e.u64(acc);
+                        e.bool(false);
+                    })?;
+                    ctx.send(0, 7, &[iter])?; // ACK
+                    let (g, _) = ctx.recv::<u64>(0, 9)?; // GO
+                    ctx.send(0, 2, &[g[0] * 100 + iter])?; // DATA
+                }
+                2 => {
+                    // R: bystander kept in lockstep by P's token.
+                    ctx.pragma(|e: &mut Encoder| {
+                        e.u64(iter);
+                        e.u64(acc);
+                        e.bool(false);
+                    })?;
+                    let (t, _) = ctx.recv::<u64>(0, 8)?; // TOKEN
+                    acc = acc.wrapping_add(t[0]);
+                }
+                _ => unreachable!(),
+            }
+            ack_done = false;
+            iter += 1;
+        }
+        Ok(acc)
+    }
+
+    let spec = JobSpec::new(3);
+    let base_store = TempStore::new("replay-death-base");
+    let baseline = c3::run_job(&spec, &C3Config::passive(base_store.path()), app).unwrap();
+
+    let store = TempStore::new("replay-death");
+    // P initiates at its 3rd pragma (top of iteration 2).
+    let cfg = C3Config::at_pragmas(store.path(), vec![3]);
+    let plan = ChaosPlan {
+        faults: vec![
+            // Incarnation 0: R dies after the iteration-4 commit barrier,
+            // i.e. once the line has committed on *every* node.
+            FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 7 } },
+            // Incarnation 1: P dies at its first receive served from the
+            // replay log — mid-recovery, with its peers still in Restore.
+            FailurePlan { rank: 0, when: FailAt::DuringRestore { nth_replay: 1 } },
+        ],
+    };
+    let rec = c3::run_job_with_chaos(&spec, &cfg, &plan, app).unwrap();
+    assert_eq!(rec.restarts, 2, "both faults must fire");
+    assert_eq!(rec.faults_fired, 2);
+    // Forward progress: the committed line never regressed across restarts,
+    // and the first death happened only after line 1 was committed globally.
+    assert!(rec.lines[0] >= 1, "lines: {:?}", rec.lines);
+    assert!(rec.lines[1] >= rec.lines[0], "lines: {:?}", rec.lines);
+    assert_eq!(
+        rec.handle.results, baseline.results,
+        "triple-incarnation run diverged from the failure-free baseline"
+    );
 }

@@ -9,19 +9,11 @@
 //! SMG (multi-location pragmas incl. inside the preconditioner), HPL
 //! (bcast-dominated with a pragma per elimination step).
 
+mod util;
+
 use c3::{C3Config, C3Error, FailAt, FailurePlan};
 use mpisim::JobSpec;
-use std::path::PathBuf;
-
-fn tmp_store(name: &str) -> PathBuf {
-    let p = std::env::temp_dir().join(format!(
-        "c3-reck-{name}-{}-{}",
-        std::process::id(),
-        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
-    ));
-    let _ = std::fs::remove_dir_all(&p);
-    p
-}
+use util::TempStore;
 
 macro_rules! check {
     ($name:ident, $nranks:expr, $fail_rank:expr, $ckpt_pragma:expr, $fail_pragma:expr,
@@ -33,7 +25,8 @@ macro_rules! check {
             let baseline = mpisim::launch(&spec, move |ctx| npb::$module::run(ctx, &cfg))
                 .unwrap_or_else(|e| panic!("{} baseline failed: {e}", stringify!($name)));
 
-            let c3cfg = C3Config::at_pragmas(tmp_store(stringify!($name)), vec![$ckpt_pragma]);
+            let store = TempStore::new(stringify!($name));
+            let c3cfg = C3Config::at_pragmas(store.path(), vec![$ckpt_pragma]);
             let plan = FailurePlan {
                 rank: $fail_rank,
                 when: FailAt::AfterCommits { commits: 1, pragma: $fail_pragma },
@@ -90,7 +83,8 @@ fn ep_recovers() {
     let cfg = npb::ep::EpConfig { m_per_block: 10, blocks: 12 };
     let baseline = mpisim::launch(&spec, move |ctx| npb::ep::run(ctx, &cfg)).unwrap();
 
-    let c3cfg = C3Config::at_pragmas(tmp_store("ep"), vec![3]);
+    let store = TempStore::new("ep");
+    let c3cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 0, when: FailAt::AfterCommits { commits: 1, pragma: 7 } };
     let rec = c3::run_job_with_failure(&spec, &c3cfg, plan, move |ctx| {
         npb::ep::run(ctx, &cfg).map_err(C3Error::Mpi)
@@ -109,7 +103,8 @@ fn cg_recovers_under_reordering() {
     let cfg = npb::cg::CgConfig { n: 96, iters: 8 };
     let baseline = mpisim::launch(&spec, move |ctx| npb::cg::run(ctx, &cfg)).unwrap();
 
-    let c3cfg = C3Config::at_pragmas(tmp_store("cg-reorder"), vec![3]);
+    let store = TempStore::new("cg-reorder");
+    let c3cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 1, when: FailAt::AfterCommits { commits: 1, pragma: 5 } };
     let rec = c3::run_job_with_failure(&spec, &c3cfg, plan, move |ctx| {
         npb::cg::run(ctx, &cfg).map_err(C3Error::Mpi)
@@ -128,7 +123,8 @@ fn ft_recovers_under_reordering() {
     let cfg = npb::ft::FtConfig { n: 32, steps: 6, alpha: 1e-4 };
     let baseline = mpisim::launch(&spec, move |ctx| npb::ft::run(ctx, &cfg)).unwrap();
 
-    let c3cfg = C3Config::at_pragmas(tmp_store("ft-reorder"), vec![3]);
+    let store = TempStore::new("ft-reorder");
+    let c3cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 5 } };
     let rec = c3::run_job_with_failure(&spec, &c3cfg, plan, move |ctx| {
         npb::ft::run(ctx, &cfg).map_err(C3Error::Mpi)
@@ -146,7 +142,8 @@ fn cg_recovers_from_second_line() {
     let cfg = npb::cg::CgConfig { n: 96, iters: 10 };
     let baseline = mpisim::launch(&spec, move |ctx| npb::cg::run(ctx, &cfg)).unwrap();
 
-    let c3cfg = C3Config::at_pragmas(tmp_store("cg-two"), vec![3, 6]);
+    let store = TempStore::new("cg-two");
+    let c3cfg = C3Config::at_pragmas(store.path(), vec![3, 6]);
     let plan = FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 2, pragma: 8 } };
     let rec = c3::run_job_with_failure(&spec, &c3cfg, plan, move |ctx| {
         npb::cg::run(ctx, &cfg).map_err(C3Error::Mpi)
@@ -165,7 +162,8 @@ fn failure_before_any_commit_restarts_from_scratch() {
     let baseline = mpisim::launch(&spec, move |ctx| npb::sp::run(ctx, &cfg)).unwrap();
 
     // Checkpoints never initiate; the failure fires at pragma 2.
-    let c3cfg = C3Config::passive(tmp_store("sp-scratch"));
+    let store = TempStore::new("sp-scratch");
+    let c3cfg = C3Config::passive(store.path());
     let plan = FailurePlan { rank: 1, when: FailAt::Pragma(2) };
     let rec = c3::run_job_with_failure(&spec, &c3cfg, plan, move |ctx| {
         npb::sp::run(ctx, &cfg).map_err(C3Error::Mpi)

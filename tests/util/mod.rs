@@ -1,0 +1,11 @@
+//! Shared integration-test support.
+//!
+//! The one thing every protocol test needs is a checkpoint-store directory
+//! that is unique per test *and reliably removed afterwards* — the seed's
+//! bare `tmp_store()` helpers leaked a directory per test run on success.
+//! The RAII guard itself lives in `statesave` ([`statesave::TempStore`]) so
+//! the bench harnesses (`chaos_soak`) share the exact same semantics:
+//! removed on clean drop, kept with its path printed when the test is
+//! panicking so the on-disk checkpoint state can be inspected.
+
+pub use statesave::TempStore;
