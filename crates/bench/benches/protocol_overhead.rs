@@ -34,9 +34,11 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("ring_c3_passive", |b| {
-        let cfg = C3Config::passive(&store);
+        // Built once outside the timed loop: the iteration must measure the
+        // protocol, not builder construction or config cloning.
+        let job = c3::Job::from_spec(&spec, C3Config::passive(&store));
         b.iter(|| {
-            let h = c3::run_job(&spec, &cfg, |ctx| -> Result<u64, C3Error> {
+            let h = job.run(|ctx| -> Result<u64, C3Error> {
                 let me = ctx.rank();
                 let n = ctx.nranks();
                 let mut acc = 0u64;

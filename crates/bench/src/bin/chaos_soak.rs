@@ -1,32 +1,71 @@
 //! `chaos_soak` — deterministic seed-sweep fault-injection soak.
 //!
-//! For every NPB kernel and every seed, derive an ordered multi-fault
-//! [`ChaosPlan`] (`ChaosPlan::from_seed`), run the kernel under the C³
-//! protocol with that plan — faults land at pragmas, at arbitrary substrate
-//! operations (mid-collective, mid-control-plane, mid-restore-handshake),
-//! in the torn-commit window, and mid-replay — and compare the recovered
-//! result bit-for-bit against the failure-free raw-substrate baseline.
+//! For every NPB kernel, every seed, and every network mode, derive an
+//! ordered multi-fault [`ChaosPlan`] (`ChaosPlan::from_seed`, which may add
+//! its own seed-derived drop/duplication/reorder component), run the kernel
+//! under the C³ protocol via the unified `c3::Job` builder — faults land at
+//! pragmas, at arbitrary substrate operations (mid-collective,
+//! mid-control-plane, mid-restore-handshake), in the torn-commit window,
+//! and mid-replay, while the network may reorder, drop, and duplicate —
+//! and compare the recovered result bit-for-bit against the failure-free
+//! raw-substrate baseline.
+//!
+//! The sweep is the full cross-product *chaos seeds × network models*: an
+//! in-order reliable fabric, and `ReorderModel::Random` with nonzero
+//! drop/duplication rates (the ROADMAP "chaos × reordering" item).
 //!
 //! Any divergent seed is greedily shrunk (`c3::shrink_plan`) to a minimal
-//! reproduction by re-running candidate plans; a synthetic known-bad oracle
-//! demonstrates the shrinker on every invocation so the reduction machinery
-//! itself stays exercised while the protocol is healthy.
+//! reproduction — over the network-fault component as well as the
+//! fail-stop schedule — by re-running candidate plans; a synthetic
+//! known-bad oracle demonstrates the shrinker on every invocation so the
+//! reduction machinery itself stays exercised while the protocol is
+//! healthy.
 //!
 //! Emits `BENCH_recovery.json` (working directory or `$BENCH_OUT_DIR`) with
-//! per-kernel restart counts and §6.5-style restart-cost percentiles
-//! (`last_commit_wall_ns` of the surviving incarnation).
+//! per-(kernel, network) restart counts and §6.5-style restart-cost
+//! percentiles (`last_commit_wall_ns` of the surviving incarnation), each
+//! entry recording the network model it ran under.
 //!
 //! ```text
 //! chaos_soak [--seeds N] [--base-seed S] [--quick] [--jobs J] [--kernels cg,ft,...]
 //! ```
 
-use c3::{run_job_with_chaos, shrink_plan, C3Config, C3Error, ChaosPlan, ChaosSpace, CkptPolicy, FailAt, FailurePlan};
+use c3::{shrink_plan, C3Config, C3Error, ChaosPlan, ChaosSpace, CkptPolicy, Clock, FailAt, FailurePlan, Job, NetFault};
 use c3_bench::{Align, Table};
-use mpisim::JobSpec;
+use mpisim::{JobSpec, NetModel};
 use statesave::TempStore;
 use std::sync::atomic::AtomicUsize;
 use std::sync::atomic::Ordering;
 use std::sync::Mutex;
+
+/// The network-model axis of the sweep.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum NetMode {
+    /// In-order reliable fabric (the seed's behavior).
+    Reliable,
+    /// Random cross-signature reordering plus nonzero drop/duplication.
+    Faulty,
+}
+
+impl NetMode {
+    const ALL: [NetMode; 2] = [NetMode::Reliable, NetMode::Faulty];
+
+    /// The base network model for one run (the plan's own `NetFault`
+    /// component, if any, is merged on top by the builder).
+    fn model(self, seed: u64) -> NetModel {
+        match self {
+            NetMode::Reliable => NetModel::reliable().seed(seed),
+            NetMode::Faulty => NetModel::reorder(seed).drop_rate(15).duplicate_rate(10),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            NetMode::Reliable => "reliable",
+            NetMode::Faulty => "reorder+drop15+dup10",
+        }
+    }
+}
 
 /// One chaos run's observables.
 struct RunOutcome {
@@ -45,7 +84,7 @@ struct Kernel {
     nranks: usize,
     space: ChaosSpace,
     baseline: Box<dyn Fn(&JobSpec) -> Vec<u64> + Send + Sync>,
-    chaos: Box<dyn Fn(&JobSpec, &C3Config, &ChaosPlan) -> Result<RunOutcome, String> + Send + Sync>,
+    chaos: Box<dyn Fn(&Job, &ChaosPlan) -> Result<RunOutcome, String> + Send + Sync>,
 }
 
 macro_rules! kernel {
@@ -60,12 +99,15 @@ macro_rules! kernel {
                     .unwrap_or_else(|e| panic!("{} baseline failed: {e}", $name));
                 out.results.iter().map(|r| r.to_bits()).collect()
             }),
-            chaos: Box::new(move |spec, c3cfg, plan| {
-                let rec = run_job_with_chaos(spec, c3cfg, plan, move |ctx| {
-                    let r = npb::$module::run(ctx, &cfg).map_err(C3Error::Mpi)?;
-                    Ok((r, ctx.stats().last_commit_wall_ns))
-                })
-                .map_err(|e| e.to_string())?;
+            chaos: Box::new(move |job, plan| {
+                let rec = job
+                    .clone()
+                    .chaos(plan.clone())
+                    .run(move |ctx| {
+                        let r = npb::$module::run(ctx, &cfg).map_err(C3Error::Mpi)?;
+                        Ok((r, ctx.stats().last_commit_wall_ns))
+                    })
+                    .map_err(|e| e.to_string())?;
                 Ok(RunOutcome {
                     bits: rec.handle.results.iter().map(|(r, _)| r.to_bits()).collect(),
                     restarts: rec.restarts,
@@ -147,12 +189,14 @@ fn chaos_cfg(store: &TempStore) -> C3Config {
         // the §4.5 "any process may initiate" interleavings under fire.
         policy: CkptPolicy::EveryNth(3),
         initiator: None,
+        clock: Clock::Wall,
     }
 }
 
 /// One sweep record.
 struct Record {
     kernel: usize,
+    net: NetMode,
     seed: u64,
     plan: ChaosPlan,
     outcome: Result<(RunOutcome, bool), String>, // bool = matches baseline
@@ -214,13 +258,12 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// on every invocation — the reduction machinery is exercised even while
 /// the protocol itself has no divergences to shrink.
 fn shrink_demo() -> (ChaosPlan, ChaosPlan, bool) {
-    let bad = ChaosPlan {
-        faults: vec![
-            FailurePlan { rank: 1, when: FailAt::Pragma(7) },
-            FailurePlan { rank: 3, when: FailAt::Op(123) },
-            FailurePlan { rank: 2, when: FailAt::DuringRestore { nth_replay: 3 } },
-        ],
-    };
+    let bad = ChaosPlan::new(vec![
+        FailurePlan { rank: 1, when: FailAt::Pragma(7) },
+        FailurePlan { rank: 3, when: FailAt::Op(123) },
+        FailurePlan { rank: 2, when: FailAt::DuringRestore { nth_replay: 3 } },
+    ])
+    .with_net(NetFault { drop_permille: 30, dup_permille: 20, reorder: true });
     let oracle =
         |p: &ChaosPlan| p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10));
     let min = shrink_plan(&bad, oracle);
@@ -243,9 +286,14 @@ fn main() {
     let baselines: Vec<Vec<u64>> =
         kset.iter().map(|k| (k.baseline)(&JobSpec::new(k.nranks))).collect();
 
-    // The sweep: kernels × seeds, claimed by a fixed-size worker pool.
-    let tasks: Vec<(usize, u64)> = (0..kset.len())
-        .flat_map(|k| (0..args.seeds).map(move |s| (k, args.base_seed + s)))
+    // The sweep: kernels × network modes × seeds, claimed by a fixed-size
+    // worker pool.
+    let tasks: Vec<(usize, NetMode, u64)> = (0..kset.len())
+        .flat_map(|k| {
+            NetMode::ALL.into_iter().flat_map(move |net| {
+                (0..args.seeds).map(move |s| (k, net, args.base_seed + s))
+            })
+        })
         .collect();
     let next = AtomicUsize::new(0);
     let records: Mutex<Vec<Record>> = Mutex::new(Vec::with_capacity(tasks.len()));
@@ -253,35 +301,36 @@ fn main() {
         for _ in 0..args.jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(kidx, seed)) = tasks.get(i) else { break };
+                let Some(&(kidx, net, seed)) = tasks.get(i) else { break };
                 let k = &kset[kidx];
                 let plan = ChaosPlan::from_seed(seed, &k.space);
                 let store = TempStore::new(k.name);
-                let spec = JobSpec::new(k.nranks);
-                let outcome = (k.chaos)(&spec, &chaos_cfg(&store), &plan)
-                    .map(|run| {
-                        let ok = run.bits == baselines[kidx];
-                        (run, ok)
-                    });
-                records.lock().unwrap().push(Record { kernel: kidx, seed, plan, outcome });
+                let job = Job::new(k.nranks, chaos_cfg(&store)).network(net.model(seed));
+                let outcome = (k.chaos)(&job, &plan).map(|run| {
+                    let ok = run.bits == baselines[kidx];
+                    (run, ok)
+                });
+                records.lock().unwrap().push(Record { kernel: kidx, net, seed, plan, outcome });
             });
         }
     });
     // Workers finish in scheduler order; sort so the report, the failing
     // list, and BENCH_recovery.json are byte-stable across identical runs.
     let mut records = records.into_inner().unwrap();
-    records.sort_by_key(|r| (r.kernel, r.seed));
+    records.sort_by_key(|r| (r.kernel, r.net as u8, r.seed));
 
-    // Aggregate per kernel.
+    // Aggregate per (kernel, network mode).
     let mut table = Table::new(
         format!(
-            "chaos_soak — {} seeds × {} kernels ({} plans)",
+            "chaos_soak — {} seeds × {} kernels × {} networks ({} plans)",
             args.seeds,
             kset.len(),
+            NetMode::ALL.len(),
             records.len()
         ),
         &[
             ("kernel", Align::Left),
+            ("network", Align::Left),
             ("runs", Align::Right),
             ("diverged", Align::Right),
             ("errors", Align::Right),
@@ -294,94 +343,101 @@ fn main() {
     let mut total_diverged = 0usize;
     let mut failing: Vec<&Record> = Vec::new();
     for (kidx, k) in kset.iter().enumerate() {
-        let mine: Vec<&Record> = records.iter().filter(|r| r.kernel == kidx).collect();
-        let mut diverged = 0usize;
-        let mut errors = 0usize;
-        let mut fired = 0u64;
-        let mut max_restarts = 0u32;
-        let mut hist: Vec<u64> = Vec::new();
-        let mut costs: Vec<u64> = Vec::new();
-        for r in &mine {
-            match &r.outcome {
-                Ok((run, ok)) => {
-                    if !ok {
-                        diverged += 1;
+        for net in NetMode::ALL {
+            let mine: Vec<&Record> =
+                records.iter().filter(|r| r.kernel == kidx && r.net == net).collect();
+            let mut diverged = 0usize;
+            let mut errors = 0usize;
+            let mut fired = 0u64;
+            let mut max_restarts = 0u32;
+            let mut hist: Vec<u64> = Vec::new();
+            let mut costs: Vec<u64> = Vec::new();
+            for r in &mine {
+                match &r.outcome {
+                    Ok((run, ok)) => {
+                        if !ok {
+                            diverged += 1;
+                            failing.push(r);
+                        }
+                        fired += run.fired as u64;
+                        max_restarts = max_restarts.max(run.restarts);
+                        let slot = run.restarts as usize;
+                        if hist.len() <= slot {
+                            hist.resize(slot + 1, 0);
+                        }
+                        hist[slot] += 1;
+                        if run.wall_ns > 0 {
+                            costs.push(run.wall_ns);
+                        }
+                    }
+                    Err(_) => {
+                        errors += 1;
                         failing.push(r);
                     }
-                    fired += run.fired as u64;
-                    max_restarts = max_restarts.max(run.restarts);
-                    let slot = run.restarts as usize;
-                    if hist.len() <= slot {
-                        hist.resize(slot + 1, 0);
-                    }
-                    hist[slot] += 1;
-                    if run.wall_ns > 0 {
-                        costs.push(run.wall_ns);
-                    }
-                }
-                Err(_) => {
-                    errors += 1;
-                    failing.push(r);
                 }
             }
+            total_diverged += diverged + errors;
+            costs.sort_unstable();
+            let (p50, p90, p99) = (
+                percentile(&costs, 0.50),
+                percentile(&costs, 0.90),
+                percentile(&costs, 0.99),
+            );
+            table.row(vec![
+                k.name.to_string(),
+                net.name().to_string(),
+                mine.len().to_string(),
+                diverged.to_string(),
+                errors.to_string(),
+                fired.to_string(),
+                max_restarts.to_string(),
+                format!("{:.2}/{:.2}", p50 as f64 / 1e6, p99 as f64 / 1e6),
+            ]);
+            let hist_json =
+                hist.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+            json_kernels.push(format!(
+                "    {{\"name\": \"{}\", \"network\": \"{}\", \"runs\": {}, \"divergences\": {}, \
+                 \"errors\": {}, \"faults_fired\": {}, \"max_restarts\": {}, \
+                 \"restart_histogram\": [{}], \
+                 \"restart_cost_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
+                k.name,
+                net.name(),
+                mine.len(),
+                diverged,
+                errors,
+                fired,
+                max_restarts,
+                hist_json,
+                p50,
+                p90,
+                p99,
+                costs.last().copied().unwrap_or(0),
+            ));
         }
-        total_diverged += diverged + errors;
-        costs.sort_unstable();
-        let (p50, p90, p99) = (
-            percentile(&costs, 0.50),
-            percentile(&costs, 0.90),
-            percentile(&costs, 0.99),
-        );
-        table.row(vec![
-            k.name.to_string(),
-            mine.len().to_string(),
-            diverged.to_string(),
-            errors.to_string(),
-            fired.to_string(),
-            max_restarts.to_string(),
-            format!("{:.2}/{:.2}", p50 as f64 / 1e6, p99 as f64 / 1e6),
-        ]);
-        let hist_json =
-            hist.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
-        json_kernels.push(format!(
-            "    {{\"name\": \"{}\", \"runs\": {}, \"divergences\": {}, \"errors\": {}, \
-             \"faults_fired\": {}, \"max_restarts\": {}, \"restart_histogram\": [{}], \
-             \"restart_cost_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
-            k.name,
-            mine.len(),
-            diverged,
-            errors,
-            fired,
-            max_restarts,
-            hist_json,
-            p50,
-            p90,
-            p99,
-            costs.last().copied().unwrap_or(0),
-        ));
     }
     table.print();
 
-    // Shrink every failing seed to a minimal reproduction by re-running.
+    // Shrink every failing seed to a minimal reproduction by re-running
+    // (over the network-fault component too).
     let mut shrunk_json = Vec::new();
     for r in &failing {
         let k = &kset[r.kernel];
-        let spec = JobSpec::new(k.nranks);
         let still_fails = |cand: &ChaosPlan| {
             let store = TempStore::new("shrink");
-            match (k.chaos)(&spec, &chaos_cfg(&store), cand) {
+            let job = Job::new(k.nranks, chaos_cfg(&store)).network(r.net.model(r.seed));
+            match (k.chaos)(&job, cand) {
                 Ok(run) => run.bits != baselines[r.kernel],
                 Err(_) => true,
             }
         };
         let min = shrink_plan(&r.plan, still_fails);
         println!(
-            "FAIL {} seed {}: plan {} shrank to minimal reproduction {}",
-            k.name, r.seed, r.plan, min
+            "FAIL {} [{}] seed {}: plan {} shrank to minimal reproduction {}",
+            k.name, r.net.name(), r.seed, r.plan, min
         );
         shrunk_json.push(format!(
-            "    {{\"kernel\": \"{}\", \"seed\": {}, \"plan\": \"{}\", \"shrunk\": \"{}\"}}",
-            k.name, r.seed, r.plan, min
+            "    {{\"kernel\": \"{}\", \"network\": \"{}\", \"seed\": {}, \"plan\": \"{}\", \"shrunk\": \"{}\"}}",
+            k.name, r.net.name(), r.seed, r.plan, min
         ));
     }
 

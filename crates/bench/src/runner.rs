@@ -2,7 +2,7 @@
 //!
 //! Every table compares the same application compiled two ways (§6): the
 //! "Original" run goes straight to the substrate (`mpisim::launch`), the
-//! "C³" run goes through the co-ordination layer (`c3::run_job`). Wall-clock
+//! "C³" run goes through the co-ordination layer (`c3::Job`). Wall-clock
 //! time is the measured quantity — the C³ bookkeeping is real CPU work on
 //! real threads, exactly the overhead the paper measures.
 
@@ -137,11 +137,12 @@ pub fn run_original(spec: &JobSpec, bench: Bench) -> Timed {
 /// Run under the C³ layer with the given configuration.
 pub fn run_c3(spec: &JobSpec, cfg: &C3Config, bench: Bench) -> Timed {
     let t0 = Instant::now();
-    let h = c3::run_job(spec, cfg, move |ctx| {
-        let r = bench.run(ctx).map_err(C3Error::Mpi)?;
-        Ok((r, ctx.stats().clone()))
-    })
-    .unwrap_or_else(|e| panic!("C³ {} failed: {e}", bench.name()));
+    let h = c3::Job::from_spec(spec, cfg.clone())
+        .run(move |ctx| {
+            let r = bench.run(ctx).map_err(C3Error::Mpi)?;
+            Ok((r, ctx.stats().clone()))
+        })
+        .unwrap_or_else(|e| panic!("C³ {} failed: {e}", bench.name()));
     let wall = t0.elapsed();
     let makespan_ns = h.makespan_ns();
     let mut agg = C3Stats::default();

@@ -183,10 +183,10 @@ pub fn restart_table(
 
         // Run 2: restart from the stored checkpoint, run to the end.
         let t0 = std::time::Instant::now();
-        let h = c3::run_job_restored(&spec, &cfg, move |ctx| {
-            bench.run(ctx).map_err(c3::C3Error::Mpi)
-        })
-        .unwrap_or_else(|e| panic!("{} restart failed: {e}", bench.name()));
+        let h = c3::Job::from_spec(&spec, cfg.clone())
+            .restore()
+            .run(move |ctx| bench.run(ctx).map_err(c3::C3Error::Mpi))
+            .unwrap_or_else(|e| panic!("{} restart failed: {e}", bench.name()));
         let restarted = t0.elapsed().as_secs_f64();
         assert_same_results(bench.name(), &r1.results, &h.results);
 

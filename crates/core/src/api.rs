@@ -72,6 +72,23 @@ impl C3Error {
     }
 }
 
+/// Which clock drives the time-based parts of the protocol: the
+/// [`CkptPolicy::Timer`] initiation policy and the restart-cost stamp
+/// [`C3Stats::last_commit_wall_ns`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Clock {
+    /// Real wall-clock time (`std::time::Instant`), measured from context
+    /// creation. Matches the paper's measurements, but makes timer-initiated
+    /// rounds depend on scheduler timing — unusable for deterministic
+    /// replay or chaos sweeps.
+    #[default]
+    Wall,
+    /// The substrate's virtual compute clock (`RankCtx::vtime`): a pure
+    /// function of the rank's call sequence and the cluster model, so
+    /// timer-initiated rounds become bit-for-bit reproducible and fuzzable.
+    Virtual,
+}
+
 /// When does a process *initiate* a checkpoint at a `ccc_checkpoint` pragma?
 ///
 /// Regardless of policy, every process also starts a checkpoint at its next
@@ -86,18 +103,18 @@ pub enum CkptPolicy {
     AtPragmas(Vec<u64>),
     /// Force every `n`-th pragma.
     EveryNth(u64),
-    /// Force when this much wall time has passed since the last checkpoint
-    /// (the paper's "timer expired" trigger).
+    /// Force when this much time — on the job's [`Clock`] — has passed
+    /// since the last checkpoint (the paper's "timer expired" trigger).
     Timer(Duration),
 }
 
 impl CkptPolicy {
-    pub(crate) fn wants(&self, pragma_count: u64, last_ckpt: Instant) -> bool {
+    pub(crate) fn wants(&self, pragma_count: u64, since_last_ckpt_ns: u64) -> bool {
         match self {
             CkptPolicy::Never => false,
             CkptPolicy::AtPragmas(v) => v.contains(&pragma_count),
             CkptPolicy::EveryNth(n) => *n > 0 && pragma_count.is_multiple_of(*n),
-            CkptPolicy::Timer(d) => last_ckpt.elapsed() >= *d,
+            CkptPolicy::Timer(d) => since_last_ckpt_ns as u128 >= d.as_nanos(),
         }
     }
 }
@@ -116,6 +133,8 @@ pub struct C3Config {
     /// any process *may* initiate in the protocol, this just makes
     /// experiments deterministic). `None`: every rank applies the policy.
     pub initiator: Option<usize>,
+    /// Clock backing the timer policy and restart-cost stamps.
+    pub clock: Clock,
 }
 
 impl C3Config {
@@ -126,6 +145,7 @@ impl C3Config {
             write_disk: true,
             policy: CkptPolicy::Never,
             initiator: None,
+            clock: Clock::Wall,
         }
     }
 
@@ -136,12 +156,19 @@ impl C3Config {
             write_disk: true,
             policy: CkptPolicy::AtPragmas(pragmas),
             initiator: Some(0),
+            clock: Clock::Wall,
         }
     }
 
     /// Disable disk writes (configuration #2).
     pub fn no_disk(mut self) -> Self {
         self.write_disk = false;
+        self
+    }
+
+    /// Select the clock backing the timer policy and restart-cost stamps.
+    pub fn clock(mut self, c: Clock) -> Self {
+        self.clock = c;
         self
     }
 }
@@ -172,9 +199,12 @@ pub struct C3Stats {
     pub ckpt_bytes_written: u64,
     /// Receives served from the replay log during recovery.
     pub replayed_recvs: u64,
-    /// Wall-clock nanoseconds from context creation to the most recent
-    /// checkpoint commit (the paper's §6.5 restart-cost measurement needs
-    /// "elapsed time from when the last checkpoint is finished to the end").
+    /// Nanoseconds — on the job's [`Clock`] — from context creation to the
+    /// most recent checkpoint commit (the paper's §6.5 restart-cost
+    /// measurement needs "elapsed time from when the last checkpoint is
+    /// finished to the end"). Under [`Clock::Wall`] this is wall time as
+    /// the name says; under [`Clock::Virtual`] it is virtual time and
+    /// deterministic.
     pub last_commit_wall_ns: u64,
 }
 
@@ -243,10 +273,10 @@ pub struct C3Ctx<'a> {
     pub(crate) line_next_req: u64,
     /// Collective call counter on the world communicator (protocol-level).
     pub(crate) coll_calls: u64,
-    /// Wall-clock of the last checkpoint (for the timer policy).
-    pub(crate) last_ckpt: Instant,
-    /// Wall-clock of context creation (restart-cost accounting).
-    pub(crate) start_time: Instant,
+    /// Clock reading (ns) at the last checkpoint (for the timer policy).
+    pub(crate) last_ckpt_ns: u64,
+    /// Wall-clock origin: context creation (backs [`Clock::Wall`]).
+    pub(crate) wall_origin: Instant,
     /// Attached buffer size (MPI_Buffer_attach state, saved/restored).
     pub(crate) attached_buffer: Option<usize>,
     /// Statistics.
@@ -299,6 +329,15 @@ impl<'a> C3Ctx<'a> {
     /// Advance the virtual compute clock (forwarded to the substrate).
     pub fn compute(&mut self, ns: u64) {
         self.mpi.compute(ns);
+    }
+
+    /// The job clock's current reading in nanoseconds since context
+    /// creation (wall or virtual, per [`C3Config::clock`]).
+    pub fn now_ns(&self) -> u64 {
+        match self.cfg.clock {
+            Clock::Wall => self.wall_origin.elapsed().as_nanos() as u64,
+            Clock::Virtual => self.mpi.vtime(),
+        }
     }
 
     /// The state restored from the last committed checkpoint, if this run is

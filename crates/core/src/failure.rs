@@ -14,21 +14,18 @@
 //!   [`ChaosPlan::from_seed`] derives a plan from a deterministic RNG and
 //!   [`shrink_plan`] greedily reduces a failing plan to a minimal
 //!   reproduction;
-//! * [`run_job`] — run an instrumented application to completion with the
-//!   protocol active (no failures);
-//! * [`run_job_with_chaos`] — the recovery driver: arm the plan's faults one
-//!   incarnation at a time, restart from the last committed recovery line
-//!   after each injected death, and assert forward progress (every restart
-//!   consumes one fault from the budget and never regresses the committed
-//!   line);
-//! * [`run_job_with_failure`] — the seed's single-fault surface, now a
-//!   [`ChaosPlan`] of length 1.
+//! * [`NetFault`] — a plan's network-fault component: seed-derived message
+//!   drop/duplication rates and optional random reordering, merged into the
+//!   job's `NetModel` by the driver so [`shrink_plan`] minimizes over the
+//!   network faults together with the fail-stop schedule;
+//! * the four legacy `run_job*` drivers, now one-line deprecated shims over
+//!   the unified [`crate::Job`] builder (which owns the restart/chaos
+//!   orchestration — see [`crate::job`]).
 
-use crate::api::{C3Config, C3Ctx, C3Error, FailureTrigger};
-use mpisim::{JobError, JobHandle, JobSpec, INJECTED_FAULT_MARKER};
+use crate::api::{C3Config, C3Ctx, C3Error};
+use crate::job::{Job, RecoveredJob};
+use mpisim::{JobError, JobHandle, JobSpec, NetModel, ReorderModel};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use statesave::CkptStore;
-use std::sync::Arc;
 
 /// When a planned failure fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,15 +87,66 @@ impl std::fmt::Display for FailurePlan {
     }
 }
 
+/// The network-fault component of a chaos plan: transport-level message
+/// drop and duplication rates plus optional random cross-signature
+/// reordering, applied for the *whole* job (every incarnation) on top of
+/// the job's base network model. Like the fail-stop faults, these are part
+/// of the reproduction recipe: [`ChaosPlan::from_seed`] derives them
+/// deterministically and [`shrink_plan`] minimizes over them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetFault {
+    /// Message drop (retransmit) probability in permille.
+    pub drop_permille: u32,
+    /// Message duplication probability in permille.
+    pub dup_permille: u32,
+    /// Enable random cross-signature reordering (standard parameters).
+    pub reorder: bool,
+}
+
+impl NetFault {
+    /// Merge into a base network model. Strictly strengthening: rates are
+    /// `max`ed with the base's (a plan can never *weaken* the network the
+    /// job advertises, which also keeps [`shrink_plan`]'s weaker-is-simpler
+    /// ordering monotone — shrinking the component to nothing converges on
+    /// exactly the base model), reordering is enabled on top of the base if
+    /// requested (never disabled), and the base seed is kept.
+    pub fn apply_to(self, mut base: NetModel) -> NetModel {
+        base.drop_permille = base.drop_permille.max(self.drop_permille.min(1000));
+        base.dup_permille = base.dup_permille.max(self.dup_permille.min(1000));
+        if self.reorder && matches!(base.reorder, ReorderModel::None) {
+            base.reorder = ReorderModel::Random { hold_permille: 300, max_held: 4 };
+        }
+        base
+    }
+
+    /// True when this entry perturbs nothing (candidate for removal).
+    pub fn is_noop(&self) -> bool {
+        self.drop_permille == 0 && self.dup_permille == 0 && !self.reorder
+    }
+}
+
+impl std::fmt::Display for NetFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "net{{drop:{}‰,dup:{}‰", self.drop_permille, self.dup_permille)?;
+        if self.reorder {
+            write!(f, ",reorder")?;
+        }
+        write!(f, "}}")
+    }
+}
+
 /// An ordered sequence of fail-stop faults applied across successive job
 /// incarnations: fault 0 is armed on the fresh run; after it fires and the
 /// job restarts from its recovery line, fault 1 is armed on the restarted
 /// incarnation, and so on. Faults that never fire (the job completes first)
-/// are simply unspent budget.
+/// are simply unspent budget. An optional [`NetFault`] perturbs the network
+/// underneath every incarnation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChaosPlan {
     /// The faults, in arming order.
     pub faults: Vec<FailurePlan>,
+    /// Network faults for the whole job, if any.
+    pub net: Option<NetFault>,
 }
 
 /// The space [`ChaosPlan::from_seed`] samples from — bounds chosen per
@@ -114,9 +162,25 @@ pub struct ChaosSpace {
 }
 
 impl ChaosPlan {
+    /// The empty plan: no injection at all.
+    pub fn none() -> Self {
+        ChaosPlan { faults: Vec::new(), net: None }
+    }
+
+    /// A plan of the given fail-stop faults, reliable network.
+    pub fn new(faults: Vec<FailurePlan>) -> Self {
+        ChaosPlan { faults, net: None }
+    }
+
     /// The seed behavior: a plan of exactly one fault.
     pub fn single(fault: FailurePlan) -> Self {
-        ChaosPlan { faults: vec![fault] }
+        ChaosPlan { faults: vec![fault], net: None }
+    }
+
+    /// Add a network-fault component.
+    pub fn with_net(mut self, nf: NetFault) -> Self {
+        self.net = Some(nf);
+        self
     }
 
     /// Derive a plan from a deterministic RNG: 1–3 faults with random ranks
@@ -143,7 +207,18 @@ impl ChaosPlan {
             };
             faults.push(FailurePlan { rank, when });
         }
-        ChaosPlan { faults }
+        // Half the seeds also perturb the network: drop/duplication rates in
+        // {10,20,30}‰ and optional random reordering.
+        let net = if rng.gen_range(0..2) == 1 {
+            Some(NetFault {
+                drop_permille: 10 * (1 + rng.gen_range(0..3)),
+                dup_permille: 10 * rng.gen_range(0..3),
+                reorder: rng.gen_range(0..2) == 1,
+            })
+        } else {
+            None
+        };
+        ChaosPlan { faults, net }
     }
 
     /// Number of faults in the plan.
@@ -166,36 +241,60 @@ impl std::fmt::Display for ChaosPlan {
             }
             write!(f, "{fault}")?;
         }
-        write!(f, "]")
+        write!(f, "]")?;
+        if let Some(nf) = &self.net {
+            write!(f, " + {nf}")?;
+        }
+        Ok(())
     }
 }
 
 /// Greedily shrink a failing plan to a minimal one: repeatedly try dropping
-/// whole faults, lowering ranks, and reducing fire points (halving, then
-/// decrementing), keeping every candidate for which `still_fails` holds.
-/// `still_fails(&plan)` must be true for the input plan; the result is a
-/// plan that still fails but from which no single greedy step can be
-/// removed.
+/// whole faults, removing or weakening the network-fault component, lowering
+/// ranks, and reducing fire points (halving, then decrementing), keeping
+/// every candidate for which `still_fails` holds. `still_fails(&plan)` must
+/// be true for the input plan; the result is a plan that still fails but
+/// from which no single greedy step can be removed.
 pub fn shrink_plan(plan: &ChaosPlan, still_fails: impl Fn(&ChaosPlan) -> bool) -> ChaosPlan {
     let mut cur = plan.clone();
     // Bounded: each accepted step strictly shrinks a finite measure.
     'outer: for _ in 0..10_000 {
-        // 1. Drop a whole fault.
-        if cur.faults.len() > 1 {
-            for i in 0..cur.faults.len() {
+        // 1. Drop a whole fault — down to the empty schedule: a failure
+        // reproduced by the network-fault component alone must not keep a
+        // spurious rank-kill in its minimal plan.
+        for i in 0..cur.faults.len() {
+            let mut cand = cur.clone();
+            cand.faults.remove(i);
+            if still_fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        // 2. Drop the network-fault component.
+        if cur.net.is_some() {
+            let mut cand = cur.clone();
+            cand.net = None;
+            if still_fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        // 3. Simplify one fault in place.
+        for i in 0..cur.faults.len() {
+            for cand_fault in simpler(&cur.faults[i]) {
                 let mut cand = cur.clone();
-                cand.faults.remove(i);
+                cand.faults[i] = cand_fault;
                 if still_fails(&cand) {
                     cur = cand;
                     continue 'outer;
                 }
             }
         }
-        // 2. Simplify one fault in place.
-        for i in 0..cur.faults.len() {
-            for cand_fault in simpler(&cur.faults[i]) {
+        // 4. Weaken the network-fault component.
+        if let Some(nf) = cur.net {
+            for cand_nf in simpler_net(&nf) {
                 let mut cand = cur.clone();
-                cand.faults[i] = cand_fault;
+                cand.net = Some(cand_nf);
                 if still_fails(&cand) {
                     cur = cand;
                     continue 'outer;
@@ -207,13 +306,36 @@ pub fn shrink_plan(plan: &ChaosPlan, still_fails: impl Fn(&ChaosPlan) -> bool) -
     cur
 }
 
+/// Strictly-weaker single-step candidates for a network fault (disable
+/// reordering; halve, then decrement, each rate).
+fn simpler_net(nf: &NetFault) -> Vec<NetFault> {
+    let mut out = Vec::new();
+    if nf.reorder {
+        out.push(NetFault { reorder: false, ..*nf });
+    }
+    for (halved, dec) in [
+        (NetFault { drop_permille: nf.drop_permille / 2, ..*nf }, NetFault { drop_permille: nf.drop_permille.saturating_sub(1), ..*nf }),
+        (NetFault { dup_permille: nf.dup_permille / 2, ..*nf }, NetFault { dup_permille: nf.dup_permille.saturating_sub(1), ..*nf }),
+    ] {
+        if halved != *nf {
+            out.push(halved);
+        }
+        if dec != *nf && dec != halved {
+            out.push(dec);
+        }
+    }
+    out
+}
+
 /// Strictly-simpler single-step candidates for one fault (smaller rank,
 /// halved/decremented fire point, simpler variant).
 fn simpler(f: &FailurePlan) -> Vec<FailurePlan> {
     let mut out = Vec::new();
     if f.rank > 0 {
         out.push(FailurePlan { rank: 0, when: f.when });
-        out.push(FailurePlan { rank: f.rank - 1, when: f.when });
+        if f.rank > 1 {
+            out.push(FailurePlan { rank: f.rank - 1, when: f.when });
+        }
     }
     let mut whens = Vec::new();
     match f.when {
@@ -246,80 +368,28 @@ fn simpler(f: &FailurePlan) -> Vec<FailurePlan> {
     out
 }
 
-/// The outcome of a run that survived zero or more injected failures.
-#[derive(Debug)]
-pub struct RecoveredJob<T> {
-    /// The completed job (per-rank results and statistics).
-    pub handle: JobHandle<T>,
-    /// How many times the job was restarted from a recovery line.
-    pub restarts: u32,
-    /// How many faults of the plan actually fired (= restarts; kept
-    /// separately so callers can compare against the plan length).
-    pub faults_fired: u32,
-    /// The globally committed recovery line observed at each restart, in
-    /// order — non-decreasing by the forward-progress invariant.
-    pub lines: Vec<u64>,
-}
-
-fn run_attempt<T, F>(
-    spec: &JobSpec,
-    cfg: &C3Config,
-    failure: Option<Arc<FailureTrigger>>,
-    restore: bool,
-    app: &F,
-) -> Result<JobHandle<T>, JobError>
-where
-    T: Send,
-    F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
-{
-    mpisim::launch(spec, |mpi| {
-        let mut ctx = if restore {
-            C3Ctx::restore_or_fresh(mpi, cfg.clone(), failure.clone())
-        } else {
-            C3Ctx::fresh(mpi, cfg.clone(), failure.clone())
-        }
-        .map_err(|e| e.into_mpi())?;
-        app(&mut ctx).map_err(|e| e.into_mpi())
-    })
-}
-
-/// Run an instrumented application under the protocol, no fault injection.
+/// Deprecated shim: run under the protocol with no fault injection.
+#[deprecated(note = "use `c3::Job::new(n, cfg).run(app)`")]
 pub fn run_job<T, F>(spec: &JobSpec, cfg: &C3Config, app: F) -> Result<JobHandle<T>, JobError>
 where
     T: Send,
     F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
 {
-    run_attempt(spec, cfg, None, false, &app)
+    Job::from_spec(spec, cfg.clone()).run(app).map(|r| r.handle)
 }
 
-/// Resume a job from its last committed recovery line without any fault
-/// injection (used by restart-cost measurements, §6.5).
+/// Deprecated shim: resume from the last committed recovery line (§6.5).
+#[deprecated(note = "use `c3::Job::new(n, cfg).restore().run(app)`")]
 pub fn run_job_restored<T, F>(spec: &JobSpec, cfg: &C3Config, app: F) -> Result<JobHandle<T>, JobError>
 where
     T: Send,
     F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
 {
-    run_attempt(spec, cfg, None, true, &app)
+    Job::from_spec(spec, cfg.clone()).restore().run(app).map(|r| r.handle)
 }
 
-/// The recovery line currently committed on *every* rank (0 if none).
-fn committed_line(spec: &JobSpec, cfg: &C3Config) -> u64 {
-    let store = match CkptStore::new(&cfg.store_root) {
-        Ok(s) => s,
-        Err(_) => return 0,
-    };
-    (0..spec.nranks).map(|r| store.last_committed(r).unwrap_or(0)).min().unwrap_or(0)
-}
-
-/// Run with an ordered chaos plan; after each injected death, restart from
-/// the last committed recovery line with the next fault armed, until the
-/// application completes.
-///
-/// Forward progress is asserted on every restart: an abort is only accepted
-/// when the armed fault actually fired (any other abort propagates as an
-/// error, so a wedged protocol cannot be papered over by retries), each
-/// restart consumes exactly one fault of the plan's budget, and the
-/// committed recovery line never regresses.
+/// Deprecated shim: run with an ordered chaos plan.
+#[deprecated(note = "use `c3::Job::new(n, cfg).chaos(plan).run(app)`")]
 pub fn run_job_with_chaos<T, F>(
     spec: &JobSpec,
     cfg: &C3Config,
@@ -330,53 +400,11 @@ where
     T: Send,
     F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
 {
-    let mut restarts = 0u32;
-    let mut restore = false;
-    let mut fault_idx = 0usize;
-    let mut lines = Vec::new();
-    loop {
-        let trigger = plan.faults.get(fault_idx).map(|f| Arc::new(FailureTrigger::new(*f)));
-        match run_attempt(spec, cfg, trigger, restore, &app) {
-            Ok(handle) => {
-                return Ok(RecoveredJob { handle, restarts, faults_fired: fault_idx as u32, lines })
-            }
-            Err(JobError::Aborted { reason }) => {
-                // Only a death we injected ourselves justifies a restart.
-                if !reason.contains(INJECTED_FAULT_MARKER) {
-                    return Err(JobError::Aborted { reason });
-                }
-                // Forward-progress invariants surface as errors, not panics,
-                // so a soak harness can record and shrink exactly this
-                // failure class instead of losing the whole sweep.
-                if fault_idx >= plan.faults.len() {
-                    return Err(JobError::Aborted {
-                        reason: format!(
-                            "chaos driver invariant violated: abort marked as injected \
-                             but the plan is exhausted ({reason})"
-                        ),
-                    });
-                }
-                let line = committed_line(spec, cfg);
-                if lines.last().is_some_and(|prev| line < *prev) {
-                    return Err(JobError::Aborted {
-                        reason: format!(
-                            "chaos driver invariant violated: committed recovery line \
-                             regressed to {line} after {lines:?}"
-                        ),
-                    });
-                }
-                lines.push(line);
-                fault_idx += 1;
-                restarts += 1;
-                restore = true;
-            }
-            Err(other) => return Err(other),
-        }
-    }
+    Job::from_spec(spec, cfg.clone()).chaos(plan.clone()).run(app)
 }
 
-/// Run with a single planned fail-stop fault (the seed's surface): a
-/// [`ChaosPlan`] of length 1.
+/// Deprecated shim: run with a single planned fail-stop fault.
+#[deprecated(note = "use `c3::Job::new(n, cfg).failure(plan).run(app)`")]
 pub fn run_job_with_failure<T, F>(
     spec: &JobSpec,
     cfg: &C3Config,
@@ -387,7 +415,7 @@ where
     T: Send,
     F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
 {
-    run_job_with_chaos(spec, cfg, &ChaosPlan::single(plan), app)
+    Job::from_spec(spec, cfg.clone()).failure(plan).run(app)
 }
 
 #[cfg(test)]
@@ -443,13 +471,11 @@ mod tests {
         // Synthetic oracle: the plan "fails" iff it contains an op fault
         // with op >= 10. The minimal reproduction is a single rank-0 fault
         // at exactly op 10.
-        let bad = ChaosPlan {
-            faults: vec![
-                FailurePlan { rank: 1, when: FailAt::Pragma(7) },
-                FailurePlan { rank: 3, when: FailAt::Op(123) },
-                FailurePlan { rank: 2, when: FailAt::DuringRestore { nth_replay: 3 } },
-            ],
-        };
+        let bad = ChaosPlan::new(vec![
+            FailurePlan { rank: 1, when: FailAt::Pragma(7) },
+            FailurePlan { rank: 3, when: FailAt::Op(123) },
+            FailurePlan { rank: 2, when: FailAt::DuringRestore { nth_replay: 3 } },
+        ]);
         let fails = |p: &ChaosPlan| {
             p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10))
         };
@@ -465,13 +491,11 @@ mod tests {
     #[test]
     fn shrinker_keeps_multi_fault_cores_when_both_faults_matter() {
         // Oracle needs one pragma fault AND one during-restore fault.
-        let bad = ChaosPlan {
-            faults: vec![
-                FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 2, pragma: 9 } },
-                FailurePlan { rank: 1, when: FailAt::Op(50) },
-                FailurePlan { rank: 3, when: FailAt::DuringRestore { nth_replay: 4 } },
-            ],
-        };
+        let bad = ChaosPlan::new(vec![
+            FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 2, pragma: 9 } },
+            FailurePlan { rank: 1, when: FailAt::Op(50) },
+            FailurePlan { rank: 3, when: FailAt::DuringRestore { nth_replay: 4 } },
+        ]);
         let fails = |p: &ChaosPlan| {
             p.faults.iter().any(|f| matches!(f.when, FailAt::Pragma(_) | FailAt::AfterCommits { .. }))
                 && p.faults.iter().any(|f| matches!(f.when, FailAt::DuringRestore { .. }))
@@ -491,12 +515,77 @@ mod tests {
 
     #[test]
     fn display_is_a_readable_reproduction_recipe() {
-        let plan = ChaosPlan {
-            faults: vec![
-                FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 5 } },
-                FailurePlan { rank: 0, when: FailAt::DuringRestore { nth_replay: 2 } },
-            ],
-        };
+        let plan = ChaosPlan::new(vec![
+            FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 5 } },
+            FailurePlan { rank: 0, when: FailAt::DuringRestore { nth_replay: 2 } },
+        ]);
         assert_eq!(plan.to_string(), "[rank2@after-commits(1)@pragma(5), rank0@during-restore(2)]");
+        let with_net = plan.with_net(NetFault { drop_permille: 20, dup_permille: 10, reorder: true });
+        assert_eq!(
+            with_net.to_string(),
+            "[rank2@after-commits(1)@pragma(5), rank0@during-restore(2)] + net{drop:20‰,dup:10‰,reorder}"
+        );
+    }
+
+    #[test]
+    fn seeds_derive_network_faults_deterministically() {
+        let space = ChaosSpace { nranks: 4, max_pragma: 10, max_op: 200 };
+        let mut with_net = 0;
+        for seed in 0..200u64 {
+            let a = ChaosPlan::from_seed(seed, &space);
+            assert_eq!(a.net, ChaosPlan::from_seed(seed, &space).net, "seed {seed}");
+            if let Some(nf) = a.net {
+                with_net += 1;
+                assert!(nf.drop_permille <= 30 && nf.dup_permille <= 20, "seed {seed}: {nf}");
+            }
+        }
+        // Roughly half the seeds perturb the network.
+        assert!((50..150).contains(&with_net), "{with_net} net-faulted seeds out of 200");
+    }
+
+    #[test]
+    fn shrinker_removes_irrelevant_network_faults() {
+        let bad = ChaosPlan::new(vec![FailurePlan { rank: 1, when: FailAt::Op(64) }])
+            .with_net(NetFault { drop_permille: 30, dup_permille: 20, reorder: true });
+        let fails = |p: &ChaosPlan| p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10));
+        let min = shrink_plan(&bad, fails);
+        assert_eq!(min, ChaosPlan::single(FailurePlan { rank: 0, when: FailAt::Op(10) }), "got {min}");
+    }
+
+    #[test]
+    fn shrinker_minimizes_network_faults_when_they_matter() {
+        let bad = ChaosPlan::new(vec![FailurePlan { rank: 2, when: FailAt::Pragma(9) }])
+            .with_net(NetFault { drop_permille: 37, dup_permille: 12, reorder: true });
+        // Oracle: fails iff the network can drop at a rate of at least 10‰.
+        // No rank death is needed, so the minimal plan has NO fail-stop
+        // fault at all — only the minimized network component.
+        let fails = |p: &ChaosPlan| p.net.is_some_and(|n| n.drop_permille >= 10);
+        let min = shrink_plan(&bad, fails);
+        assert!(min.faults.is_empty(), "got {min}");
+        assert_eq!(
+            min.net,
+            Some(NetFault { drop_permille: 10, dup_permille: 0, reorder: false }),
+            "got {min}"
+        );
+    }
+
+    #[test]
+    fn net_fault_merges_onto_base_model() {
+        let nf = NetFault { drop_permille: 25, dup_permille: 15, reorder: true };
+        let merged = nf.apply_to(NetModel::reliable().seed(9));
+        assert_eq!(merged.drop_permille, 25);
+        assert_eq!(merged.dup_permille, 15);
+        assert_eq!(merged.seed, 9, "base seed is kept");
+        assert!(matches!(merged.reorder, ReorderModel::Random { .. }));
+        // Strictly strengthening: a weaker component never lowers the base's
+        // advertised rates (and shrinking it to nothing restores the base).
+        let weak = NetFault { drop_permille: 5, dup_permille: 0, reorder: false };
+        let merged = weak.apply_to(NetModel::reliable().drop_rate(15).duplicate_rate(10));
+        assert_eq!((merged.drop_permille, merged.dup_permille), (15, 10));
+        // An existing reorder model is never downgraded.
+        let base = NetModel::reorder(3).with_reorder(ReorderModel::Random { hold_permille: 700, max_held: 8 });
+        let merged = NetFault { drop_permille: 0, dup_permille: 0, reorder: false }.apply_to(base);
+        assert_eq!(merged.reorder, ReorderModel::Random { hold_permille: 700, max_held: 8 });
+        assert!(NetFault { drop_permille: 0, dup_permille: 0, reorder: false }.is_noop());
     }
 }

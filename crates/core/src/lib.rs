@@ -40,6 +40,7 @@ pub mod topo;
 pub mod control;
 pub mod counters;
 pub mod failure;
+pub mod job;
 pub mod mode;
 pub mod piggyback;
 pub mod protocol;
@@ -47,12 +48,14 @@ pub mod registries;
 pub mod requests;
 pub mod tables;
 
-pub use api::{C3Config, C3Ctx, C3Error, C3Stats, CkptPolicy};
+pub use api::{C3Config, C3Ctx, C3Error, C3Stats, CkptPolicy, Clock};
 pub use comms::{C3Comm, COMM_WORLD_HANDLE};
 pub use topo::CartTopo;
+pub use job::{Job, RecoveredJob};
+#[allow(deprecated)]
 pub use failure::{
     run_job, run_job_restored, run_job_with_chaos, run_job_with_failure, shrink_plan, ChaosPlan,
-    ChaosSpace, FailAt, FailurePlan, RecoveredJob,
+    ChaosSpace, FailAt, FailurePlan, NetFault,
 };
 pub use mode::Mode;
 pub use piggyback::{MsgClass, PigData};

@@ -72,8 +72,8 @@ impl<'a> C3Ctx<'a> {
             restored_app_state: None,
             line_next_req: 0,
             coll_calls: 0,
-            last_ckpt: Instant::now(),
-            start_time: Instant::now(),
+            last_ckpt_ns: 0,
+            wall_origin: Instant::now(),
             attached_buffer: None,
             stats: Default::default(),
             failure,
@@ -1016,7 +1016,8 @@ impl<'a> C3Ctx<'a> {
             return Ok(false);
         }
         let policy_applies = self.cfg.initiator.is_none_or(|r| r == self.mpi.rank());
-        let force = policy_applies && self.cfg.policy.wants(self.pragma_count, self.last_ckpt);
+        let since_last = self.now_ns().saturating_sub(self.last_ckpt_ns);
+        let force = policy_applies && self.cfg.policy.wants(self.pragma_count, since_last);
         if force || self.ci.any(self.epoch + 1) {
             // Pooled: the buffer is returned to the scratch pool after the
             // `app` section is written (see `ckpt::write_line_sections`).
@@ -1058,7 +1059,7 @@ impl<'a> C3Ctx<'a> {
             self.counters.set_expected(peer, count);
         }
         self.mode = Mode::NonDetLog;
-        self.last_ckpt = Instant::now();
+        self.last_ckpt_ns = self.now_ns();
         self.maybe_advance()
     }
 
@@ -1071,7 +1072,7 @@ impl<'a> C3Ctx<'a> {
         self.reqs.purge_deferred();
         self.commit_count += 1;
         self.stats.ckpts_committed += 1;
-        self.stats.last_commit_wall_ns = self.start_time.elapsed().as_nanos() as u64;
+        self.stats.last_commit_wall_ns = self.now_ns();
         self.mode = Mode::Run;
         Ok(())
     }

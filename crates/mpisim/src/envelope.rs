@@ -33,9 +33,10 @@ pub struct Envelope {
     pub tag: Tag,
     /// Communicator.
     pub comm: CommId,
-    /// Per-(src,dst,comm) monotone sequence number; used to assert
-    /// per-signature FIFO in tests and by the reordering model to avoid
-    /// violating it.
+    /// Per-(src,dst) monotone sequence number, unique across tags and
+    /// communicators; used to assert per-signature FIFO in tests, by the
+    /// reordering model to avoid violating it, and by the fault model's
+    /// duplicate suppression.
     pub seq: u64,
     /// Opaque piggyback byte owned by the protocol layer above the substrate
     /// (the paper's 3 piggybacked bits travel here). The substrate never

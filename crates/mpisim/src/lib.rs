@@ -53,7 +53,7 @@ pub use datatype::{
 pub use envelope::{Envelope, Signature};
 pub use error::MpiError;
 pub use mailbox::{Mailbox, MailboxGuard};
-pub use network::{ClusterModel, Network, ReorderModel};
+pub use network::{ClusterModel, NetModel, Network, ReorderModel};
 pub use payload::{BufferPool, Lease, Payload};
 pub use op::{
     apply_op, lookup_named_op, register_named_op, OpHandle, OpTable, ReduceOp, UserOpFn, OP_MAX,

@@ -82,18 +82,171 @@ pub enum ReorderModel {
     },
 }
 
+/// The complete fault-and-delivery model of the interconnect: cross-signature
+/// reordering plus transport-level message **drop** and **duplication**.
+///
+/// MPI itself is reliable, so the faults model the transport *below* it and
+/// come with the recovery machinery real stacks have:
+///
+/// * a **dropped** message is retransmitted — it is withheld for a while
+///   (head-of-line blocking any same-signature successor, as a reliable
+///   transport must) and re-injected later, so delivery timing and
+///   cross-signature order are perturbed but nothing is lost;
+/// * a **duplicated** message is injected twice; the receive side suppresses
+///   the second copy by `(source, sequence)` — tolerate, not re-deliver —
+///   so matching stays exactly-once.
+///
+/// Both fault decisions are a *pure function* of `(seed, signature, seq)`
+/// (no shared RNG stream), so which messages fault is independent of thread
+/// interleaving: the same seed faults the same messages on every run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetModel {
+    /// Cross-signature reordering model.
+    pub reorder: ReorderModel,
+    /// Per-message drop (retransmit) probability in permille (0..=1000).
+    pub drop_permille: u32,
+    /// Per-message duplication probability in permille (0..=1000).
+    pub dup_permille: u32,
+    /// Seed for the reordering RNG and the drop/duplication fate hash.
+    pub seed: u64,
+}
+
+impl NetModel {
+    /// A reliable, in-order network (the default).
+    pub fn reliable() -> Self {
+        NetModel { reorder: ReorderModel::None, drop_permille: 0, dup_permille: 0, seed: 1 }
+    }
+
+    /// Seeded random cross-signature reordering with the standard parameters
+    /// (hold 30% of envelopes, at most 4 held per destination).
+    pub fn reorder(seed: u64) -> Self {
+        NetModel {
+            reorder: ReorderModel::Random { hold_permille: 300, max_held: 4 },
+            drop_permille: 0,
+            dup_permille: 0,
+            seed,
+        }
+    }
+
+    /// Replace the reordering model.
+    pub fn with_reorder(mut self, r: ReorderModel) -> Self {
+        self.reorder = r;
+        self
+    }
+
+    /// Set the drop (retransmit) rate in permille.
+    pub fn drop_rate(mut self, permille: u32) -> Self {
+        self.drop_permille = permille.min(1000);
+        self
+    }
+
+    /// Set the duplication rate in permille.
+    pub fn duplicate_rate(mut self, permille: u32) -> Self {
+        self.dup_permille = permille.min(1000);
+        self
+    }
+
+    /// Set the seed for reordering and fault fate.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// True if any drop/duplication fault can fire.
+    #[inline]
+    pub fn has_faults(&self) -> bool {
+        self.drop_permille > 0 || self.dup_permille > 0
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::reliable()
+    }
+}
+
 #[derive(Default)]
 struct ReorderState {
     held: Vec<Envelope>,
     rng: Option<SmallRng>,
 }
 
+/// How many subsequent deliveries to a destination a "dropped" envelope
+/// waits before its retransmission is injected (it is also injected by any
+/// [`Network::nudge`]/[`Network::flush_reorder`], so a blocked receiver
+/// never waits on it forever).
+const RETRANSMIT_AFTER: u64 = 6;
+
+/// Cap on envelopes concurrently awaiting retransmission per destination;
+/// at the cap further drops deliver normally (a transport retries harder
+/// under congestion, it does not buffer unboundedly).
+const MAX_DROPPED: usize = 32;
+
+/// What the fate hash decides for one message.
+enum Fate {
+    Deliver,
+    Drop,
+    Duplicate,
+}
+
+/// Per-source duplicate-suppression window: `next` is the lowest sequence
+/// number not yet seen from that source, `ahead` the out-of-order ones
+/// already seen above it (bounded by the reorder/retransmit window).
+#[derive(Default)]
+struct DedupWindow {
+    next: u64,
+    ahead: std::collections::HashSet<u64>,
+}
+
+impl DedupWindow {
+    /// Record `seq`; true if it was already seen (a duplicate).
+    fn seen_before(&mut self, seq: u64) -> bool {
+        if seq < self.next {
+            return true;
+        }
+        if !self.ahead.insert(seq) {
+            return true;
+        }
+        while self.ahead.remove(&self.next) {
+            self.next += 1;
+        }
+        false
+    }
+}
+
+/// Per-destination transport-fault state (drop/duplication only; the
+/// reordering model keeps its own state).
+#[derive(Default)]
+struct FaultState {
+    /// Envelopes awaiting retransmission, with the delivery tick they come
+    /// due. Same-signature successors queue here too (head-of-line), so
+    /// per-signature FIFO survives the drop. Strictly FIFO: push back, pop
+    /// front.
+    delayed: std::collections::VecDeque<(Envelope, u64)>,
+    /// Monotone count of injections towards this destination.
+    ticks: u64,
+}
+
+/// SplitMix64 finalizer: the avalanche mixer behind the fate hash.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// The shared fabric connecting all ranks of a job.
 pub struct Network {
     mailboxes: Vec<Mailbox>,
     cluster: ClusterModel,
-    reorder: ReorderModel,
+    model: NetModel,
     reorder_state: Vec<Mutex<ReorderState>>,
+    fault_state: Vec<Mutex<FaultState>>,
+    /// Per-destination duplicate filters, indexed by source rank. A separate
+    /// lock, acquired strictly after `fault_state`/`reorder_state`, because
+    /// final delivery runs nested inside both stages.
+    dedup_state: Vec<Mutex<Vec<DedupWindow>>>,
     poisoned: AtomicBool,
     poison_reason: Mutex<Option<String>>,
     /// The world's shared send-buffer pool (see [`BufferPool`]).
@@ -102,34 +255,49 @@ pub struct Network {
     pub msgs_sent: AtomicU64,
     /// Total application bytes injected (diagnostics).
     pub bytes_sent: AtomicU64,
+    /// Messages the fault model dropped and later retransmitted.
+    pub msgs_dropped: AtomicU64,
+    /// Messages the fault model injected twice.
+    pub msgs_duplicated: AtomicU64,
+    /// Duplicate copies suppressed at the receive side.
+    pub dups_suppressed: AtomicU64,
 }
 
 impl Network {
     /// Create a network for `nranks` ranks.
-    pub fn new(nranks: usize, cluster: ClusterModel, reorder: ReorderModel, seed: u64) -> Self {
+    pub fn new(nranks: usize, cluster: ClusterModel, model: NetModel) -> Self {
         let reorder_state = (0..nranks)
             .map(|dst| {
                 Mutex::new(ReorderState {
                     held: Vec::new(),
-                    rng: match reorder {
+                    rng: match model.reorder {
                         ReorderModel::None => None,
                         ReorderModel::Random { .. } => {
-                            Some(SmallRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(dst as u64 + 1))))
+                            Some(SmallRng::seed_from_u64(model.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(dst as u64 + 1))))
                         }
                     },
                 })
             })
             .collect();
+        let fault_state = (0..nranks).map(|_| Mutex::new(FaultState::default())).collect();
+        let dedup_state = (0..nranks)
+            .map(|_| Mutex::new((0..nranks).map(|_| DedupWindow::default()).collect()))
+            .collect();
         Network {
             mailboxes: (0..nranks).map(|_| Mailbox::new()).collect(),
             cluster,
-            reorder,
+            model,
             reorder_state,
+            fault_state,
+            dedup_state,
             poisoned: AtomicBool::new(false),
             poison_reason: Mutex::new(None),
             pool: BufferPool::new(),
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
+            msgs_dropped: AtomicU64::new(0),
+            msgs_duplicated: AtomicU64::new(0),
+            dups_suppressed: AtomicU64::new(0),
         }
     }
 
@@ -143,6 +311,11 @@ impl Network {
         &self.cluster
     }
 
+    /// The fault-and-delivery model.
+    pub fn model(&self) -> &NetModel {
+        &self.model
+    }
+
     /// The mailbox of `rank`.
     pub fn mailbox(&self, rank: Rank) -> &Mailbox {
         &self.mailboxes[rank]
@@ -153,14 +326,85 @@ impl Network {
         &self.pool
     }
 
-    /// Inject an envelope. Applies the reordering model, then delivers to the
-    /// destination mailbox.
+    /// Inject an envelope. Applies the drop/duplication fault model, then
+    /// the reordering model, then delivers to the destination mailbox.
     pub fn send(&self, env: Envelope) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        if !self.model.has_faults() {
+            self.reorder_inject(env);
+            return;
+        }
         let dst = env.dst;
-        match self.reorder {
-            ReorderModel::None => self.mailboxes[dst].deliver(env),
+        // The fault lock is held across the whole injection (including any
+        // nested reorder-stage delivery) so a concurrent sender cannot
+        // overtake an envelope between the retransmit queue and the mailbox.
+        let mut fs = self.fault_state[dst].lock();
+        fs.ticks += 1;
+        let now = fs.ticks;
+        self.retransmit_due(&mut fs, now);
+        // Head-of-line: while a same-signature predecessor awaits
+        // retransmission, successors must queue behind it (a reliable
+        // transport cannot deliver segment n+1 before redelivering n).
+        let sig = env.signature();
+        let blocked = fs.delayed.iter().any(|(e, _)| e.signature() == sig);
+        let fate = self.fate(&env);
+        let copies: [Option<Envelope>; 2] = match fate {
+            Fate::Duplicate => {
+                self.msgs_duplicated.fetch_add(1, Ordering::Relaxed);
+                [Some(env.clone()), Some(env)]
+            }
+            _ => [Some(env), None],
+        };
+        let dropping = matches!(fate, Fate::Drop) && fs.delayed.len() < MAX_DROPPED;
+        if dropping {
+            self.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        for e in copies.into_iter().flatten() {
+            if blocked || dropping {
+                fs.delayed.push_back((e, now + RETRANSMIT_AFTER));
+            } else {
+                self.reorder_inject(e);
+            }
+        }
+    }
+
+    /// Seed-deterministic fate of one message: a pure function of
+    /// `(seed, signature, seq)`, independent of thread interleaving.
+    fn fate(&self, env: &Envelope) -> Fate {
+        let h = mix64(
+            self.model.seed
+                ^ mix64((env.src as u64) << 32 | env.dst as u64)
+                ^ mix64((env.tag as u64) << 32 | env.comm.0 as u64)
+                ^ mix64(env.seq.wrapping_mul(0x2545_f491_4f6c_dd1d)),
+        );
+        let roll = (h % 1000) as u32;
+        if roll < self.model.drop_permille {
+            Fate::Drop
+        } else if roll < self.model.drop_permille + self.model.dup_permille {
+            Fate::Duplicate
+        } else {
+            Fate::Deliver
+        }
+    }
+
+    /// Re-inject delayed envelopes that have come due, strictly from the
+    /// queue head (through the reorder stage so held same-signature
+    /// messages keep FIFO). Entries behind a not-yet-due head wait with it;
+    /// releasing out of queue order could break per-signature FIFO.
+    fn retransmit_due(&self, fs: &mut FaultState, now: u64) {
+        while fs.delayed.front().is_some_and(|(_, due)| *due <= now) {
+            let (e, _) = fs.delayed.pop_front().expect("front checked");
+            self.reorder_inject(e);
+        }
+    }
+
+    /// The reordering stage: holds/flushes envelopes per destination, then
+    /// hands them to final (dedup-checked) delivery.
+    fn reorder_inject(&self, env: Envelope) {
+        let dst = env.dst;
+        match self.model.reorder {
+            ReorderModel::None => self.final_deliver(env),
             ReorderModel::Random { hold_permille, max_held } => {
                 // Deliveries happen while the per-destination reorder lock
                 // is held: releasing first would let a concurrent sender
@@ -175,7 +419,7 @@ impl Network {
                 while i < st.held.len() {
                     if st.held[i].signature() == sig {
                         let e = st.held.remove(i);
-                        self.mailboxes[dst].deliver(e);
+                        self.final_deliver(e);
                     } else {
                         i += 1;
                     }
@@ -188,14 +432,14 @@ impl Network {
                 if hold {
                     st.held.push(env);
                 } else {
-                    self.mailboxes[dst].deliver(env);
+                    self.final_deliver(env);
                     // Flush each held envelope with probability 1/2.
                     let mut i = 0;
                     while i < st.held.len() {
                         let flush = st.rng.as_mut().unwrap().gen_bool(0.5);
                         if flush {
                             let e = st.held.remove(i);
-                            self.mailboxes[dst].deliver(e);
+                            self.final_deliver(e);
                         } else {
                             i += 1;
                         }
@@ -205,28 +449,46 @@ impl Network {
         }
     }
 
-    /// Flush envelopes held by the reordering model for `dst`. Called by a
-    /// rank's blocked wait loops so that held messages are eventually
-    /// delivered even if no further traffic arrives (models "in flight, but
-    /// not lost").
+    /// Final delivery into the destination mailbox, suppressing duplicate
+    /// copies by `(source, seq)` when the duplication fault is active.
+    fn final_deliver(&self, env: Envelope) {
+        if self.model.dup_permille > 0 {
+            let mut windows = self.dedup_state[env.dst].lock();
+            if windows[env.src].seen_before(env.seq) {
+                self.dups_suppressed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.mailboxes[env.dst].deliver(env);
+    }
+
+    /// Flush envelopes withheld by the fault and reordering models for
+    /// `dst`. Called by a rank's blocked wait loops so that withheld
+    /// messages are eventually delivered even if no further traffic arrives
+    /// (models "in flight, but not lost").
     pub fn nudge(&self, dst: Rank) {
-        if matches!(self.reorder, ReorderModel::None) {
+        if self.model.has_faults() {
+            let mut fs = self.fault_state[dst].lock();
+            let delayed: Vec<_> = fs.delayed.drain(..).collect();
+            for (e, _) in delayed {
+                self.reorder_inject(e);
+            }
+        }
+        if matches!(self.model.reorder, ReorderModel::None) {
             return;
         }
         let mut st = self.reorder_state[dst].lock();
-        for e in st.held.drain(..) {
-            self.mailboxes[dst].deliver(e);
+        let held: Vec<_> = st.held.drain(..).collect();
+        for e in held {
+            self.final_deliver(e);
         }
     }
 
-    /// Flush every held envelope (used at teardown / quiescence points so no
-    /// message is lost to the reorder buffer).
+    /// Flush every withheld envelope (used at teardown / quiescence points
+    /// so no message is lost to the retransmit or reorder buffers).
     pub fn flush_reorder(&self) {
-        for (dst, st) in self.reorder_state.iter().enumerate() {
-            let mut st = st.lock();
-            for e in st.held.drain(..) {
-                self.mailboxes[dst].deliver(e);
-            }
+        for dst in 0..self.mailboxes.len() {
+            self.nudge(dst);
         }
     }
 
@@ -273,7 +535,7 @@ mod tests {
 
     #[test]
     fn plain_delivery() {
-        let net = Network::new(2, ClusterModel::ideal(), ReorderModel::None, 1);
+        let net = Network::new(2, ClusterModel::ideal(), NetModel::reliable());
         net.send(env(0, 1, 3, 0));
         assert_eq!(net.mailbox(1).len(), 1);
         assert_eq!(net.mailbox(0).len(), 0);
@@ -284,8 +546,8 @@ mod tests {
         let net = Network::new(
             2,
             ClusterModel::ideal(),
-            ReorderModel::Random { hold_permille: 500, max_held: 8 },
-            42,
+            NetModel::reorder(42)
+                .with_reorder(ReorderModel::Random { hold_permille: 500, max_held: 8 }),
         );
         // Send 200 messages on the SAME signature; they must arrive in order.
         for seq in 0..200 {
@@ -307,8 +569,8 @@ mod tests {
         let net = Network::new(
             2,
             ClusterModel::ideal(),
-            ReorderModel::Random { hold_permille: 700, max_held: 8 },
-            7,
+            NetModel::reorder(7)
+                .with_reorder(ReorderModel::Random { hold_permille: 700, max_held: 8 }),
         );
         // Alternate two signatures; with high hold probability some tag-1
         // message should arrive after a later-sent tag-2 message.
@@ -332,8 +594,106 @@ mod tests {
     }
 
     #[test]
+    fn drop_faults_retransmit_and_preserve_per_signature_fifo() {
+        let net = Network::new(
+            2,
+            ClusterModel::ideal(),
+            NetModel::reliable().drop_rate(300).seed(11),
+        );
+        for seq in 0..300 {
+            net.send(env(0, 1, 7, seq));
+        }
+        net.flush_reorder();
+        assert!(
+            net.msgs_dropped.load(Ordering::Relaxed) > 0,
+            "30% drop rate never fired over 300 messages"
+        );
+        // Reliable despite the drops: every message arrives, in order.
+        let mut last = None;
+        let mut count = 0;
+        while let Some(e) = net.mailbox(1).try_claim(0, 7, COMM_WORLD) {
+            if let Some(prev) = last {
+                assert!(e.seq > prev, "per-signature FIFO violated: {} after {}", e.seq, prev);
+            }
+            last = Some(e.seq);
+            count += 1;
+        }
+        assert_eq!(count, 300, "a dropped message was never retransmitted");
+    }
+
+    #[test]
+    fn duplicate_faults_are_suppressed_exactly_once() {
+        let net = Network::new(
+            2,
+            ClusterModel::ideal(),
+            NetModel::reliable().duplicate_rate(400).seed(3),
+        );
+        for seq in 0..200 {
+            net.send(env(0, 1, 9, seq));
+        }
+        net.flush_reorder();
+        let dups = net.msgs_duplicated.load(Ordering::Relaxed);
+        assert!(dups > 0, "40% duplication rate never fired over 200 messages");
+        assert_eq!(
+            net.dups_suppressed.load(Ordering::Relaxed),
+            dups,
+            "every duplicate copy must be suppressed at the receive side"
+        );
+        let mut seen = Vec::new();
+        while let Some(e) = net.mailbox(1).try_claim(0, 9, COMM_WORLD) {
+            seen.push(e.seq);
+        }
+        assert_eq!(seen, (0..200).collect::<Vec<u64>>(), "delivery must stay exactly-once");
+    }
+
+    #[test]
+    fn fault_fate_is_a_pure_function_of_seed_and_signature() {
+        let drops = |seed: u64| {
+            let net =
+                Network::new(2, ClusterModel::ideal(), NetModel::reliable().drop_rate(250).seed(seed));
+            let mut dropped = Vec::new();
+            for seq in 0..100 {
+                let before = net.msgs_dropped.load(Ordering::Relaxed);
+                net.send(env(0, 1, 5, seq));
+                if net.msgs_dropped.load(Ordering::Relaxed) > before {
+                    dropped.push(seq);
+                }
+            }
+            dropped
+        };
+        assert_eq!(drops(77), drops(77), "same seed must drop the same messages");
+        assert_ne!(drops(77), drops(78), "different seeds should drop differently");
+    }
+
+    #[test]
+    fn combined_faults_with_reordering_stay_reliable() {
+        let net = Network::new(
+            2,
+            ClusterModel::ideal(),
+            NetModel::reorder(99).drop_rate(150).duplicate_rate(150),
+        );
+        // Two interleaved signatures under drop + dup + reorder. As in the
+        // real substrate, `seq` is unique per (src, dst) across tags.
+        for i in 0..400u64 {
+            net.send(env(0, 1, (i % 2) as Tag, i));
+        }
+        net.flush_reorder();
+        let (mut last0, mut last1, mut n) = (None, None, 0);
+        loop {
+            let Some(e) = net.mailbox(1).try_claim(0, crate::ANY_TAG, COMM_WORLD) else { break };
+            let last = if e.tag == 0 { &mut last0 } else { &mut last1 };
+            if let Some(prev) = *last {
+                assert!(e.seq > prev, "tag {} FIFO violated: {} after {prev}", e.tag, e.seq);
+            }
+            *last = Some(e.seq);
+            n += 1;
+        }
+        assert_eq!(n, 400, "lost or double-delivered messages under combined faults");
+    }
+
+    #[test]
     fn poison_is_sticky_and_carries_reason() {
-        let net = Network::new(1, ClusterModel::ideal(), ReorderModel::None, 1);
+        let net = Network::new(1, ClusterModel::ideal(), NetModel::reliable());
         assert!(!net.is_poisoned());
         net.poison("rank 0 killed by fault injector");
         net.poison("second reason ignored");

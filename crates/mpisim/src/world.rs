@@ -3,7 +3,7 @@
 
 use crate::ctx::RankCtx;
 use crate::error::MpiError;
-use crate::network::{ClusterModel, Network, ReorderModel};
+use crate::network::{ClusterModel, NetModel, Network, ReorderModel};
 use crate::Rank;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -16,16 +16,14 @@ pub struct JobSpec {
     pub nranks: usize,
     /// Interconnect timing model (virtual time only).
     pub cluster: ClusterModel,
-    /// Cross-signature reordering model.
-    pub reorder: ReorderModel,
-    /// Seed for the deterministic reordering RNG.
-    pub seed: u64,
+    /// Fault-and-delivery model: reordering, drop, duplication, seed.
+    pub net: NetModel,
 }
 
 impl JobSpec {
-    /// A job on the ideal network with no reordering.
+    /// A job on the ideal, reliable, in-order network.
     pub fn new(nranks: usize) -> Self {
-        JobSpec { nranks, cluster: ClusterModel::ideal(), reorder: ReorderModel::None, seed: 1 }
+        JobSpec { nranks, cluster: ClusterModel::ideal(), net: NetModel::reliable() }
     }
 
     /// Set the cluster model.
@@ -34,15 +32,21 @@ impl JobSpec {
         self
     }
 
-    /// Set the reordering model.
-    pub fn reorder(mut self, r: ReorderModel) -> Self {
-        self.reorder = r;
+    /// Replace the whole fault-and-delivery model.
+    pub fn net(mut self, n: NetModel) -> Self {
+        self.net = n;
         self
     }
 
-    /// Set the reorder seed.
+    /// Set the reordering model (keeps drop/dup rates and seed).
+    pub fn reorder(mut self, r: ReorderModel) -> Self {
+        self.net.reorder = r;
+        self
+    }
+
+    /// Set the network fault seed.
     pub fn seed(mut self, s: u64) -> Self {
-        self.seed = s;
+        self.net.seed = s;
         self
     }
 }
@@ -112,7 +116,7 @@ where
     F: Fn(&mut RankCtx) -> Result<T, MpiError> + Sync,
 {
     assert!(spec.nranks > 0, "job needs at least one rank");
-    let net = Arc::new(Network::new(spec.nranks, spec.cluster, spec.reorder, spec.seed));
+    let net = Arc::new(Network::new(spec.nranks, spec.cluster, spec.net));
     let f = &f;
 
     enum Outcome<T> {

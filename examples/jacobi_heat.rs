@@ -11,7 +11,6 @@
 //! Run with: `cargo run --example jacobi_heat`
 
 use c3::{C3Config, C3Ctx, C3Error, CkptPolicy, FailAt, FailurePlan};
-use mpisim::JobSpec;
 use statesave::codec::{Decoder, Encoder};
 
 const N: usize = 128;
@@ -113,12 +112,11 @@ fn heat_app(ctx: &mut C3Ctx<'_>) -> Result<f64, C3Error> {
 }
 
 fn main() {
-    let spec = JobSpec::new(4);
     let store = std::env::temp_dir().join(format!("c3-heat-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store);
 
     println!("== failure-free reference ==");
-    let baseline = c3::run_job(&spec, &C3Config::passive(&store), heat_app).unwrap();
+    let baseline = c3::Job::new(4, C3Config::passive(&store)).run(heat_app).unwrap();
     println!("  checksum: {:.6}", baseline.results[0]);
 
     println!("== periodic checkpoints (every 10th pragma), rank 3 fails at step 25 ==");
@@ -127,9 +125,10 @@ fn main() {
         write_disk: true,
         policy: CkptPolicy::EveryNth(10),
         initiator: Some(0),
+        clock: c3::Clock::Wall,
     };
     let plan = FailurePlan { rank: 3, when: FailAt::AfterCommits { commits: 1, pragma: 25 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, heat_app).unwrap();
+    let rec = c3::Job::new(4, cfg).failure(plan).run(heat_app).unwrap();
     println!("  restarts: {}", rec.restarts);
     println!("  checksum: {:.6}", rec.handle.results[0]);
 

@@ -15,7 +15,6 @@
 //! Run with: `cargo run --example protein_md`
 
 use c3::{C3Config, C3Ctx, C3Error, CkptPolicy, FailAt, FailurePlan};
-use mpisim::JobSpec;
 use statesave::codec::{Decoder, Encoder};
 
 const PARTICLES: usize = 240;
@@ -148,12 +147,11 @@ fn md_app(ctx: &mut C3Ctx<'_>) -> Result<f64, C3Error> {
 }
 
 fn main() {
-    let spec = JobSpec::new(4);
     let store = std::env::temp_dir().join(format!("c3-md-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store);
 
     println!("== failure-free MD ==");
-    let baseline = c3::run_job(&spec, &C3Config::passive(&store), md_app).unwrap();
+    let baseline = c3::Job::new(4, C3Config::passive(&store)).run(md_app).unwrap();
     println!("  fingerprint: {:.9}", baseline.results[0]);
 
     println!("== checkpoint every 15 steps; rank 1 dies at step 35 ==");
@@ -162,9 +160,10 @@ fn main() {
         write_disk: true,
         policy: CkptPolicy::EveryNth(15),
         initiator: Some(0),
+        clock: c3::Clock::Wall,
     };
     let plan = FailurePlan { rank: 1, when: FailAt::AfterCommits { commits: 1, pragma: 35 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, md_app).unwrap();
+    let rec = c3::Job::new(4, cfg).failure(plan).run(md_app).unwrap();
     println!("  restarts: {}", rec.restarts);
     println!("  fingerprint: {:.9}", rec.handle.results[0]);
 

@@ -9,7 +9,6 @@
 //! Run with: `cargo run --example quickstart`
 
 use c3::{C3Config, C3Ctx, C3Error, FailAt, FailurePlan};
-use mpisim::JobSpec;
 use statesave::codec::{Decoder, Encoder};
 
 /// The application state that crosses checkpoints: loop counter + running
@@ -65,19 +64,18 @@ fn ring_app(ctx: &mut C3Ctx<'_>, iters: u64) -> Result<u64, C3Error> {
 fn main() {
     let nranks = 4;
     let iters = 12;
-    let spec = JobSpec::new(nranks);
     let store = std::env::temp_dir().join(format!("c3-quickstart-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store);
 
     println!("== failure-free run (protocol active, no checkpoints) ==");
     let baseline =
-        c3::run_job(&spec, &C3Config::passive(&store), |ctx| ring_app(ctx, iters)).unwrap();
+        c3::Job::new(nranks, C3Config::passive(&store)).run(|ctx| ring_app(ctx, iters)).unwrap();
     println!("  results: {:?}", baseline.results);
 
     println!("== checkpoint at pragma 3, fail-stop on rank 2 at pragma 8 ==");
     let cfg = C3Config::at_pragmas(&store, vec![3]);
     let plan = FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 8 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, |ctx| ring_app(ctx, iters)).unwrap();
+    let rec = c3::Job::new(nranks, cfg).failure(plan).run(|ctx| ring_app(ctx, iters)).unwrap();
     println!("  restarts: {}", rec.restarts);
     println!("  results:  {:?}", rec.handle.results);
 

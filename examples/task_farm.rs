@@ -11,7 +11,6 @@
 //! Run with: `cargo run --example task_farm`
 
 use c3::{C3Config, C3Ctx, C3Error, FailAt, FailurePlan};
-use mpisim::JobSpec;
 use statesave::codec::{Decoder, Encoder};
 
 const TASKS: u64 = 24;
@@ -130,7 +129,6 @@ fn app(ctx: &mut C3Ctx<'_>) -> Result<u64, C3Error> {
 }
 
 fn main() {
-    let spec = JobSpec::new(4);
     let store = std::env::temp_dir().join(format!("c3-farm-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store);
 
@@ -138,13 +136,13 @@ fn main() {
     // only if the assignment history matches — which is exactly what replay
     // guarantees. Compute the no-failure reference first.
     println!("== failure-free farm ==");
-    let baseline = c3::run_job(&spec, &C3Config::passive(&store), app).unwrap();
+    let baseline = c3::Job::new(4, C3Config::passive(&store)).run(app).unwrap();
     println!("  master checksum: {:x}", baseline.results[0]);
 
     println!("== checkpoint mid-farm; worker 2 dies later ==");
     let cfg = C3Config::at_pragmas(&store, vec![3]);
     let plan = FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 8 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, app).unwrap();
+    let rec = c3::Job::new(4, cfg).failure(plan).run(app).unwrap();
     println!("  restarts: {}", rec.restarts);
     println!("  master checksum: {:x}", rec.handle.results[0]);
 

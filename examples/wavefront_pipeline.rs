@@ -16,7 +16,6 @@
 //! Run with: `cargo run --example wavefront_pipeline`
 
 use c3::{C3Config, C3Ctx, C3Error, FailAt, FailurePlan};
-use mpisim::JobSpec;
 use statesave::codec::{Decoder, Encoder};
 
 const ROWS: u64 = 40;
@@ -93,18 +92,17 @@ fn pipeline(ctx: &mut C3Ctx<'_>) -> Result<f64, C3Error> {
 }
 
 fn main() {
-    let spec = JobSpec::new(4);
     let store = std::env::temp_dir().join(format!("c3-wavefront-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store);
 
     println!("== failure-free pipeline ==");
-    let baseline = c3::run_job(&spec, &C3Config::passive(&store), pipeline).unwrap();
+    let baseline = c3::Job::new(4, C3Config::passive(&store)).run(pipeline).unwrap();
     println!("  checksum: {:.9}", baseline.results[0]);
 
     println!("== checkpoint mid-stream at rank 0's row 12; rank 3 fails at its row 30 ==");
     let cfg = C3Config::at_pragmas(&store, vec![12]);
     let plan = FailurePlan { rank: 3, when: FailAt::AfterCommits { commits: 1, pragma: 30 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, pipeline).unwrap();
+    let rec = c3::Job::new(4, cfg).failure(plan).run(pipeline).unwrap();
     println!("  restarts: {}", rec.restarts);
     println!("  checksum: {:.9}", rec.handle.results[0]);
 

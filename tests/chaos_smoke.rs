@@ -1,14 +1,17 @@
 //! Bounded deterministic chaos sweep — the tier-1 slice of the soak
 //! harness (`chaos_soak` in `c3-bench` runs the full 200-seed × 10-kernel
-//! version). Every PR fuzzes the protocol with the same seeds: each seed
-//! derives an ordered multi-fault [`ChaosPlan`] (pragma / op-clock /
-//! mid-commit / mid-replay deaths across successive incarnations), and the
-//! recovered result must be bit-identical to the failure-free run.
+//! × 2-network version). Every PR fuzzes the protocol with the same seeds:
+//! each seed derives an ordered multi-fault [`ChaosPlan`] (pragma /
+//! op-clock / mid-commit / mid-replay deaths across successive
+//! incarnations, plus seed-derived network drop/duplication/reorder
+//! faults), runs both on the reliable in-order fabric and on a randomly
+//! reordering one with nonzero drop/duplication rates, and the recovered
+//! result must be bit-identical to the failure-free run.
 
 mod util;
 
-use c3::{C3Config, C3Ctx, C3Error, ChaosPlan, ChaosSpace, CkptPolicy};
-use mpisim::JobSpec;
+use c3::{C3Config, C3Ctx, C3Error, ChaosPlan, ChaosSpace, CkptPolicy, Clock, Job};
+use mpisim::{JobSpec, NetModel};
 use statesave::codec::{Decoder, Encoder};
 use util::TempStore;
 
@@ -39,44 +42,61 @@ fn ring(ctx: &mut C3Ctx<'_>, iters: u64) -> Result<u64, C3Error> {
 }
 
 #[test]
-fn chaos_sweep_ring_32_seeds() {
+fn chaos_sweep_ring_32_seeds_times_2_networks() {
     const NRANKS: usize = 3;
     const ITERS: u64 = 12;
-    let spec = JobSpec::new(NRANKS);
 
     let base_store = TempStore::new("chaos-ring-base");
-    let baseline =
-        c3::run_job(&spec, &C3Config::passive(base_store.path()), |ctx| ring(ctx, ITERS)).unwrap();
+    let baseline = Job::new(NRANKS, C3Config::passive(base_store.path()))
+        .run(|ctx| ring(ctx, ITERS))
+        .unwrap();
 
     let space = ChaosSpace { nranks: NRANKS, max_pragma: ITERS, max_op: 80 };
     let mut fired_total = 0u32;
     let mut max_restarts = 0u32;
+    let mut net_faulted = 0u32;
+    // The chaos seeds × network models cross-product, in miniature: each
+    // seed runs on the reliable in-order fabric and on a reordering fabric
+    // with nonzero drop/duplication rates.
+    let networks = |seed: u64| {
+        [NetModel::reliable().seed(seed), NetModel::reorder(seed).drop_rate(15).duplicate_rate(10)]
+    };
     for seed in 0..32u64 {
         let plan = ChaosPlan::from_seed(seed, &space);
-        let store = TempStore::new("chaos-ring");
-        let cfg = C3Config {
-            store_root: store.path().to_path_buf(),
-            write_disk: true,
-            policy: CkptPolicy::EveryNth(3),
-            initiator: None, // concurrent initiators: more interleavings
-        };
-        let rec = c3::run_job_with_chaos(&spec, &cfg, &plan, |ctx| ring(ctx, ITERS))
-            .unwrap_or_else(|e| panic!("seed {seed} plan {plan} failed: {e}"));
-        assert_eq!(
-            rec.handle.results, baseline.results,
-            "seed {seed} plan {plan} diverged after {} restarts",
-            rec.restarts
-        );
-        assert!(
-            rec.faults_fired as usize <= plan.len(),
-            "seed {seed}: more faults fired than planned"
-        );
-        fired_total += rec.faults_fired;
-        max_restarts = max_restarts.max(rec.restarts);
+        if plan.net.is_some() {
+            net_faulted += 1;
+        }
+        for net in networks(seed) {
+            let store = TempStore::new("chaos-ring");
+            let cfg = C3Config {
+                store_root: store.path().to_path_buf(),
+                write_disk: true,
+                policy: CkptPolicy::EveryNth(3),
+                initiator: None, // concurrent initiators: more interleavings
+                clock: Clock::Wall,
+            };
+            let rec = Job::new(NRANKS, cfg)
+                .network(net)
+                .chaos(plan.clone())
+                .run(|ctx| ring(ctx, ITERS))
+                .unwrap_or_else(|e| panic!("seed {seed} plan {plan} failed: {e}"));
+            assert_eq!(
+                rec.handle.results, baseline.results,
+                "seed {seed} plan {plan} diverged after {} restarts",
+                rec.restarts
+            );
+            assert!(
+                rec.faults_fired as usize <= plan.len(),
+                "seed {seed}: more faults fired than planned"
+            );
+            fired_total += rec.faults_fired;
+            max_restarts = max_restarts.max(rec.restarts);
+        }
     }
-    // The sweep must actually exercise recovery, not just run 32 clean jobs.
-    assert!(fired_total >= 16, "only {fired_total} faults fired across 32 seeds");
+    // The sweep must actually exercise recovery, not just run clean jobs.
+    assert!(fired_total >= 32, "only {fired_total} faults fired across 64 runs");
     assert!(max_restarts >= 2, "no seed produced a multi-failure recovery");
+    assert!(net_faulted >= 8, "seed derivation produced too few network-fault plans");
 }
 
 /// A smaller sweep over a real kernel (CG: allreduce + halo p2p) against
@@ -93,10 +113,10 @@ fn chaos_sweep_cg_8_seeds() {
         let plan = ChaosPlan::from_seed(seed, &space);
         let store = TempStore::new("chaos-cg");
         let c3cfg = C3Config::at_pragmas(store.path(), vec![2, 4]);
-        let rec = c3::run_job_with_chaos(&spec, &c3cfg, &plan, move |ctx| {
-            npb::cg::run(ctx, &cfg).map_err(C3Error::Mpi)
-        })
-        .unwrap_or_else(|e| panic!("seed {seed} plan {plan} failed: {e}"));
+        let rec = Job::from_spec(&spec, c3cfg)
+            .chaos(plan.clone())
+            .run(move |ctx| npb::cg::run(ctx, &cfg).map_err(C3Error::Mpi))
+            .unwrap_or_else(|e| panic!("seed {seed} plan {plan} failed: {e}"));
         assert_eq!(
             rec.handle.results, baseline.results,
             "seed {seed} plan {plan} diverged after {} restarts",

@@ -6,14 +6,14 @@
 mod util;
 
 use c3::{C3Comm, C3Config, C3Ctx, C3Error, FailAt, FailurePlan};
-use mpisim::{JobSpec, ReduceOp};
+use mpisim::ReduceOp;
 use statesave::codec::{Decoder, Encoder};
 use util::TempStore;
 
 #[test]
 fn split_partitions_and_orders_by_key() {
     let store = TempStore::new("split");
-    let out = c3::run_job(&JobSpec::new(6), &C3Config::passive(store.path()), |ctx| {
+    let out = c3::Job::new(6, C3Config::passive(store.path())).run(|ctx| {
         let world = ctx.comm_world();
         // Even/odd split; keys reverse the world order inside each half.
         let color = (ctx.rank() % 2) as i64;
@@ -44,7 +44,7 @@ fn split_partitions_and_orders_by_key() {
 #[test]
 fn undefined_color_yields_none_but_participates() {
     let store = TempStore::new("undef");
-    let out = c3::run_job(&JobSpec::new(4), &C3Config::passive(store.path()), |ctx| {
+    let out = c3::Job::new(4, C3Config::passive(store.path())).run(|ctx| {
         let world = ctx.comm_world();
         let color = if ctx.rank() < 2 { Some(0) } else { None };
         let sub = ctx.comm_split(world, color, 0)?;
@@ -57,7 +57,7 @@ fn undefined_color_yields_none_but_participates() {
 #[test]
 fn subgroup_collectives_and_p2p() {
     let store = TempStore::new("coll");
-    let out = c3::run_job(&JobSpec::new(6), &C3Config::passive(store.path()), |ctx| {
+    let out = c3::Job::new(6, C3Config::passive(store.path())).run(|ctx| {
         let world = ctx.comm_world();
         let color = (ctx.rank() / 3) as i64; // {0,1,2} and {3,4,5}
         let sub = ctx.comm_split(world, Some(color), 0)?.expect("member");
@@ -96,7 +96,7 @@ fn same_tag_different_comms_do_not_cross() {
     // on one must never match a receive on the other, even with identical
     // (world-src, tag) pairs — the derived wire ids separate them.
     let store = TempStore::new("cross");
-    let out = c3::run_job(&JobSpec::new(2), &C3Config::passive(store.path()), |ctx| {
+    let out = c3::Job::new(2, C3Config::passive(store.path())).run(|ctx| {
         let world = ctx.comm_world();
         let a = ctx.comm_split(world, Some(0), 0)?.unwrap();
         let b = ctx.comm_dup(a)?;
@@ -120,7 +120,7 @@ fn same_tag_different_comms_do_not_cross() {
 #[test]
 fn comm_free_rejects_reuse_and_double_free() {
     let store = TempStore::new("free");
-    c3::run_job(&JobSpec::new(2), &C3Config::passive(store.path()), |ctx| {
+    c3::Job::new(2, C3Config::passive(store.path())).run(|ctx| {
         let world = ctx.comm_world();
         let sub = ctx.comm_dup(world)?;
         ctx.comm_free(sub)?;
@@ -179,14 +179,14 @@ fn derived_comms_survive_failure_and_recovery() {
         Ok(acc)
     }
 
-    let spec = JobSpec::new(4);
+
     let base_store = TempStore::new("rec-base");
-    let baseline = c3::run_job(&spec, &C3Config::passive(base_store.path()), app).unwrap();
+    let baseline = c3::Job::new(4, C3Config::passive(base_store.path())).run(app).unwrap();
 
     let store = TempStore::new("rec-fail");
     let cfg = C3Config::at_pragmas(store.path(), vec![4]);
     let plan = FailurePlan { rank: 3, when: FailAt::AfterCommits { commits: 1, pragma: 7 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, app).unwrap();
+    let rec = c3::Job::new(4, cfg).failure(plan).run(app).unwrap();
     assert!(rec.restarts >= 1);
     assert_eq!(rec.handle.results, baseline.results);
 }
@@ -195,7 +195,7 @@ fn derived_comms_survive_failure_and_recovery() {
 #[test]
 fn nested_splits() {
     let store = TempStore::new("nest");
-    let out = c3::run_job(&JobSpec::new(8), &C3Config::passive(store.path()), |ctx| {
+    let out = c3::Job::new(8, C3Config::passive(store.path())).run(|ctx| {
         let world = ctx.comm_world();
         let half = ctx.comm_split(world, Some((ctx.rank() / 4) as i64), 0)?.unwrap();
         let quarter =
@@ -255,13 +255,13 @@ fn cart_topology_halo_exchange_recovers() {
         Ok(val)
     }
 
-    let spec = JobSpec::new(4);
+
     let base_store = TempStore::new("cart-base");
-    let baseline = c3::run_job(&spec, &C3Config::passive(base_store.path()), app).unwrap();
+    let baseline = c3::Job::new(4, C3Config::passive(base_store.path())).run(app).unwrap();
     let store = TempStore::new("cart-fail");
     let cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 6 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, app).unwrap();
+    let rec = c3::Job::new(4, cfg).failure(plan).run(app).unwrap();
     assert!(rec.restarts >= 1);
     assert_eq!(rec.handle.results, baseline.results);
 }

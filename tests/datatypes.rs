@@ -4,20 +4,12 @@
 //! the same handle values, so restored application state holding a handle
 //! keeps working.
 
-use c3::{C3Config, C3Ctx, C3Error, FailAt, FailurePlan};
-use mpisim::{JobSpec, DT_F64};
-use statesave::codec::{Decoder, Encoder};
-use std::path::PathBuf;
+mod util;
 
-fn tmp_store(name: &str) -> PathBuf {
-    let p = std::env::temp_dir().join(format!(
-        "c3-dt-{name}-{}-{}",
-        std::process::id(),
-        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
-    ));
-    let _ = std::fs::remove_dir_all(&p);
-    p
-}
+use c3::{C3Config, C3Ctx, C3Error, FailAt, FailurePlan};
+use mpisim::DT_F64;
+use statesave::codec::{Decoder, Encoder};
+use util::TempStore;
 
 /// Ranks exchange a strided column of an 8×8 row-major matrix every
 /// iteration using a vector-of-contiguous datatype hierarchy created once at
@@ -71,20 +63,22 @@ fn typed_app(ctx: &mut C3Ctx<'_>) -> Result<u64, C3Error> {
 #[test]
 fn derived_datatype_roundtrip_is_strided() {
     // Sanity without failure: the strided pattern transfers the right cells.
-    let out = c3::run_job(&JobSpec::new(2), &C3Config::passive(tmp_store("plain")), typed_app)
-        .unwrap();
+    let store = TempStore::new("dt-plain");
+    let out = c3::Job::new(2, C3Config::passive(store.path())).run(typed_app).unwrap();
     assert!(out.results.iter().all(|r| *r != 0));
     assert!(out.results[0] != out.results[1]); // different senders
 }
 
 #[test]
 fn derived_datatypes_survive_failure_and_recovery() {
-    let spec = JobSpec::new(3);
-    let baseline = c3::run_job(&spec, &C3Config::passive(tmp_store("base")), typed_app).unwrap();
+    let base_store = TempStore::new("dt-base");
+    let baseline =
+        c3::Job::new(3, C3Config::passive(base_store.path())).run(typed_app).unwrap();
 
-    let cfg = C3Config::at_pragmas(tmp_store("fail"), vec![3]);
+    let store = TempStore::new("dt-fail");
+    let cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 1, when: FailAt::AfterCommits { commits: 1, pragma: 6 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, typed_app).unwrap();
+    let rec = c3::Job::new(3, cfg).failure(plan).run(typed_app).unwrap();
     assert!(rec.restarts >= 1);
     assert_eq!(rec.handle.results, baseline.results);
 }
@@ -130,11 +124,12 @@ fn freed_intermediate_type_still_recovers() {
         Ok(acc)
     }
 
-    let spec = JobSpec::new(2);
-    let baseline = c3::run_job(&spec, &C3Config::passive(tmp_store("free-base")), app).unwrap();
-    let cfg = C3Config::at_pragmas(tmp_store("free-fail"), vec![2]);
+    let base_store = TempStore::new("dt-free-base");
+    let baseline = c3::Job::new(2, C3Config::passive(base_store.path())).run(app).unwrap();
+    let store = TempStore::new("dt-free-fail");
+    let cfg = C3Config::at_pragmas(store.path(), vec![2]);
     let plan = FailurePlan { rank: 0, when: FailAt::AfterCommits { commits: 1, pragma: 5 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, app).unwrap();
+    let rec = c3::Job::new(2, cfg).failure(plan).run(app).unwrap();
     assert!(rec.restarts >= 1);
     assert_eq!(rec.handle.results, baseline.results);
 }

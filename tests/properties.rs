@@ -662,7 +662,7 @@ mod random_recovery {
                 rank: (seed as usize) % nranks,
                 when: FailAt::AfterCommits { commits: 1, pragma: fail_pragma },
             };
-            let rec = c3::run_job_with_failure(&spec, &cfg, plan, move |ctx| ring(ctx, iters));
+            let rec = c3::Job::from_spec(&spec, cfg).failure(plan).run(move |ctx| ring(ctx, iters));
             let rec = rec.unwrap();
             prop_assert_eq!(rec.handle.results, baseline.results);
         }

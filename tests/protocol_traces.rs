@@ -6,7 +6,6 @@
 mod util;
 
 use c3::{C3Config, C3Ctx, C3Error, ChaosPlan, CkptPolicy, FailAt, FailurePlan};
-use mpisim::JobSpec;
 use statesave::codec::{Decoder, Encoder};
 use util::TempStore;
 
@@ -92,7 +91,7 @@ fn figure2_classifications_are_exact() {
     let store = TempStore::new("fig2");
     let mut cfg = C3Config::at_pragmas(store.path(), vec![1]);
     cfg.initiator = Some(0);
-    let out = c3::run_job(&JobSpec::new(3), &cfg, app).unwrap();
+    let out = c3::Job::new(3, cfg).run(app).unwrap();
 
     let (p_late, p_early, p_epoch) = out.results[0];
     let (q_late, q_early, q_epoch) = out.results[1];
@@ -142,11 +141,10 @@ fn attached_buffer_survives_recovery() {
         Ok(acc)
     }
 
-    let spec = JobSpec::new(2);
     let store = TempStore::new("buf");
     let cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 1, when: FailAt::AfterCommits { commits: 1, pragma: 5 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg, plan, app).unwrap();
+    let rec = c3::Job::new(2, cfg).failure(plan).run(app).unwrap();
     assert_eq!(rec.restarts, 1);
 }
 
@@ -179,9 +177,8 @@ fn concurrent_initiators_commit_and_recover() {
         Ok(acc)
     }
 
-    let spec = JobSpec::new(4);
     let base_store = TempStore::new("multi-base");
-    let baseline = c3::run_job(&spec, &C3Config::passive(base_store.path()), app).unwrap();
+    let baseline = c3::Job::new(4, C3Config::passive(base_store.path())).run(app).unwrap();
 
     let store = TempStore::new("multi-fail");
     let cfg = C3Config {
@@ -189,12 +186,14 @@ fn concurrent_initiators_commit_and_recover() {
         write_disk: true,
         policy: CkptPolicy::EveryNth(5),
         initiator: None, // every rank initiates
+        clock: c3::Clock::Wall,
     };
-    let sanity = c3::run_job(&spec, &cfg, |ctx| {
-        let r = app(ctx)?;
-        Ok((r, ctx.commits()))
-    })
-    .unwrap();
+    let sanity = c3::Job::new(4, cfg)
+        .run(|ctx| {
+            let r = app(ctx)?;
+            Ok((r, ctx.commits()))
+        })
+        .unwrap();
     assert!(
         sanity.results.iter().all(|(_, c)| *c >= 2),
         "expected several committed rounds, got {:?}",
@@ -208,9 +207,10 @@ fn concurrent_initiators_commit_and_recover() {
         write_disk: true,
         policy: CkptPolicy::EveryNth(5),
         initiator: None,
+        clock: c3::Clock::Wall,
     };
     let plan = FailurePlan { rank: 3, when: FailAt::AfterCommits { commits: 2, pragma: 14 } };
-    let rec = c3::run_job_with_failure(&spec, &cfg2, plan, app).unwrap();
+    let rec = c3::Job::new(4, cfg2).failure(plan).run(app).unwrap();
     assert!(rec.restarts >= 1);
     assert_eq!(rec.handle.results, baseline.results);
 }
@@ -305,24 +305,21 @@ fn second_failure_during_replay_converges() {
         Ok(acc)
     }
 
-    let spec = JobSpec::new(3);
     let base_store = TempStore::new("replay-death-base");
-    let baseline = c3::run_job(&spec, &C3Config::passive(base_store.path()), app).unwrap();
+    let baseline = c3::Job::new(3, C3Config::passive(base_store.path())).run(app).unwrap();
 
     let store = TempStore::new("replay-death");
     // P initiates at its 3rd pragma (top of iteration 2).
     let cfg = C3Config::at_pragmas(store.path(), vec![3]);
-    let plan = ChaosPlan {
-        faults: vec![
-            // Incarnation 0: R dies after the iteration-4 commit barrier,
-            // i.e. once the line has committed on *every* node.
-            FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 7 } },
-            // Incarnation 1: P dies at its first receive served from the
-            // replay log — mid-recovery, with its peers still in Restore.
-            FailurePlan { rank: 0, when: FailAt::DuringRestore { nth_replay: 1 } },
-        ],
-    };
-    let rec = c3::run_job_with_chaos(&spec, &cfg, &plan, app).unwrap();
+    let plan = ChaosPlan::new(vec![
+        // Incarnation 0: R dies after the iteration-4 commit barrier,
+        // i.e. once the line has committed on *every* node.
+        FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 7 } },
+        // Incarnation 1: P dies at its first receive served from the
+        // replay log — mid-recovery, with its peers still in Restore.
+        FailurePlan { rank: 0, when: FailAt::DuringRestore { nth_replay: 1 } },
+    ]);
+    let rec = c3::Job::new(3, cfg).chaos(plan).run(app).unwrap();
     assert_eq!(rec.restarts, 2, "both faults must fire");
     assert_eq!(rec.faults_fired, 2);
     // Forward progress: the committed line never regressed across restarts,
