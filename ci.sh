@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Local CI mirror. The step list lives in ONE place —
+# `crates/bench/src/bin/ci_gate.rs` — and both this script and
+# `.github/workflows/ci.yml` just run that binary, so local verification
+# and the workflow cannot drift.
+exec cargo run --release -q -p c3-bench --bin ci_gate -- "$@"

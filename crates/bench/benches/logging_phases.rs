@@ -68,12 +68,8 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut g = c.benchmark_group("logging_phases");
-    g.bench_function("new_separated_phases", |b| {
-        b.iter(|| black_box(new_protocol(&payload)))
-    });
-    g.bench_function("old_combined_phase", |b| {
-        b.iter(|| black_box(old_protocol(&payload)))
-    });
+    g.bench_function("new_separated_phases", |b| b.iter(|| black_box(new_protocol(&payload))));
+    g.bench_function("old_combined_phase", |b| b.iter(|| black_box(old_protocol(&payload))));
     g.finish();
 }
 

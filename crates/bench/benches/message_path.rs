@@ -141,28 +141,36 @@ fn mailbox_depth(c: &mut Criterion) {
                 mb.deliver(black_box(e));
             })
         });
-        g.bench_with_input(BenchmarkId::new("wildcard_claim_at_depth", depth), &depth, |b, &depth| {
-            let mb = Mailbox::new();
-            for i in 0..depth {
-                mb.deliver(env(i as i32, i as u64));
-            }
-            b.iter(|| {
-                let e = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
-                mb.deliver(black_box(e));
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("wildcard_claim_at_depth", depth),
+            &depth,
+            |b, &depth| {
+                let mb = Mailbox::new();
+                for i in 0..depth {
+                    mb.deliver(env(i as i32, i as u64));
+                }
+                b.iter(|| {
+                    let e = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+                    mb.deliver(black_box(e));
+                })
+            },
+        );
         // Same message count, ONE signature: wildcard claims must stay flat
         // regardless of queue length.
-        g.bench_with_input(BenchmarkId::new("wildcard_one_signature", depth), &depth, |b, &depth| {
-            let mb = Mailbox::new();
-            for i in 0..depth {
-                mb.deliver(env(1, i as u64));
-            }
-            b.iter(|| {
-                let e = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
-                mb.deliver(black_box(e));
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("wildcard_one_signature", depth),
+            &depth,
+            |b, &depth| {
+                let mb = Mailbox::new();
+                for i in 0..depth {
+                    mb.deliver(env(1, i as u64));
+                }
+                b.iter(|| {
+                    let e = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+                    mb.deliver(black_box(e));
+                })
+            },
+        );
     }
     g.finish();
 }

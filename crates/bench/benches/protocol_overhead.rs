@@ -38,18 +38,19 @@ fn bench(c: &mut Criterion) {
         // protocol, not builder construction or config cloning.
         let job = c3::Job::from_spec(&spec, C3Config::passive(&store));
         b.iter(|| {
-            let h = job.run(|ctx| -> Result<u64, C3Error> {
-                let me = ctx.rank();
-                let n = ctx.nranks();
-                let mut acc = 0u64;
-                for i in 0..ITERS {
-                    ctx.send((me + 1) % n, 3, &[i])?;
-                    let (v, _) = ctx.recv::<u64>(((me + n - 1) % n) as i32, 3)?;
-                    acc = acc.wrapping_add(v[0]);
-                }
-                Ok(acc)
-            })
-            .unwrap();
+            let h = job
+                .run(|ctx| -> Result<u64, C3Error> {
+                    let me = ctx.rank();
+                    let n = ctx.nranks();
+                    let mut acc = 0u64;
+                    for i in 0..ITERS {
+                        ctx.send((me + 1) % n, 3, &[i])?;
+                        let (v, _) = ctx.recv::<u64>(((me + n - 1) % n) as i32, 3)?;
+                        acc = acc.wrapping_add(v[0]);
+                    }
+                    Ok(acc)
+                })
+                .unwrap();
             black_box(h.results[0])
         })
     });

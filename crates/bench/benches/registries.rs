@@ -5,7 +5,12 @@ use c3::registries::{EarlyRegistry, ReplayLog, StreamKind, StreamSig, WasEarlyRe
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn sig(i: usize) -> StreamSig {
-    StreamSig { src: i % 16, dst: (i + 1) % 16, comm: 0, kind: StreamKind::P2p { tag: (i % 8) as i32 } }
+    StreamSig {
+        src: i % 16,
+        dst: (i + 1) % 16,
+        comm: 0,
+        kind: StreamKind::P2p { tag: (i % 8) as i32 },
+    }
 }
 
 fn bench(c: &mut Criterion) {

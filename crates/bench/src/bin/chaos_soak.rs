@@ -11,8 +11,11 @@
 //! raw-substrate baseline.
 //!
 //! The sweep is the full cross-product *chaos seeds × network models*: an
-//! in-order reliable fabric, and `ReorderModel::Random` with nonzero
-//! drop/duplication rates (the ROADMAP "chaos × reordering" item).
+//! in-order reliable fabric, `ReorderModel::Random` with nonzero
+//! drop/duplication rates (the ROADMAP "chaos × reordering" item), and a
+//! tight bounded-mailbox fabric (`mailbox_capacity = 2·nranks`) where
+//! senders park under backpressure — the ROADMAP "backpressure /
+//! congestion modeling" item.
 //!
 //! Any divergent seed is greedily shrunk (`c3::shrink_plan`) to a minimal
 //! reproduction — over the network-fault component as well as the
@@ -30,7 +33,10 @@
 //! chaos_soak [--seeds N] [--base-seed S] [--quick] [--jobs J] [--kernels cg,ft,...]
 //! ```
 
-use c3::{shrink_plan, C3Config, C3Error, ChaosPlan, ChaosSpace, CkptPolicy, Clock, FailAt, FailurePlan, Job, NetFault};
+use c3::{
+    shrink_plan, C3Config, C3Error, ChaosPlan, ChaosSpace, CkptPolicy, Clock, FailAt, FailurePlan,
+    Job, NetFault,
+};
 use c3_bench::{Align, Table};
 use mpisim::{JobSpec, NetModel};
 use statesave::TempStore;
@@ -45,17 +51,23 @@ enum NetMode {
     Reliable,
     /// Random cross-signature reordering plus nonzero drop/duplication.
     Faulty,
+    /// Bounded mailboxes at the 2·nranks floor: senders park under
+    /// backpressure whenever a burst outruns the receiver, exercising the
+    /// protocol's flow-control assumptions (the paper's buffered-send
+    /// discussion) on every seed.
+    TightMailbox,
 }
 
 impl NetMode {
-    const ALL: [NetMode; 2] = [NetMode::Reliable, NetMode::Faulty];
+    const ALL: [NetMode; 3] = [NetMode::Reliable, NetMode::Faulty, NetMode::TightMailbox];
 
     /// The base network model for one run (the plan's own `NetFault`
     /// component, if any, is merged on top by the builder).
-    fn model(self, seed: u64) -> NetModel {
+    fn model(self, seed: u64, nranks: usize) -> NetModel {
         match self {
             NetMode::Reliable => NetModel::reliable().seed(seed),
             NetMode::Faulty => NetModel::reorder(seed).drop_rate(15).duplicate_rate(10),
+            NetMode::TightMailbox => NetModel::reliable().seed(seed).mailbox_capacity(2 * nranks),
         }
     }
 
@@ -63,6 +75,7 @@ impl NetMode {
         match self {
             NetMode::Reliable => "reliable",
             NetMode::Faulty => "reorder+drop15+dup10",
+            NetMode::TightMailbox => "tight-mailbox",
         }
     }
 }
@@ -78,13 +91,18 @@ struct RunOutcome {
     wall_ns: u64,
 }
 
+/// The failure-free raw-substrate run of one kernel.
+type BaselineFn = Box<dyn Fn(&JobSpec) -> Vec<u64> + Send + Sync>;
+/// One protocol-instrumented chaos run of one kernel.
+type ChaosFn = Box<dyn Fn(&Job, &ChaosPlan) -> Result<RunOutcome, String> + Send + Sync>;
+
 /// A kernel wired for both the raw baseline and chaos runs.
 struct Kernel {
     name: &'static str,
     nranks: usize,
     space: ChaosSpace,
-    baseline: Box<dyn Fn(&JobSpec) -> Vec<u64> + Send + Sync>,
-    chaos: Box<dyn Fn(&Job, &ChaosPlan) -> Result<RunOutcome, String> + Send + Sync>,
+    baseline: BaselineFn,
+    chaos: ChaosFn,
 }
 
 macro_rules! kernel {
@@ -263,7 +281,12 @@ fn shrink_demo() -> (ChaosPlan, ChaosPlan, bool) {
         FailurePlan { rank: 3, when: FailAt::Op(123) },
         FailurePlan { rank: 2, when: FailAt::DuringRestore { nth_replay: 3 } },
     ])
-    .with_net(NetFault { drop_permille: 30, dup_permille: 20, reorder: true });
+    .with_net(NetFault {
+        drop_permille: 30,
+        dup_permille: 20,
+        reorder: true,
+        mailbox_capacity: None,
+    });
     let oracle =
         |p: &ChaosPlan| p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10));
     let min = shrink_plan(&bad, oracle);
@@ -290,9 +313,9 @@ fn main() {
     // worker pool.
     let tasks: Vec<(usize, NetMode, u64)> = (0..kset.len())
         .flat_map(|k| {
-            NetMode::ALL.into_iter().flat_map(move |net| {
-                (0..args.seeds).map(move |s| (k, net, args.base_seed + s))
-            })
+            NetMode::ALL
+                .into_iter()
+                .flat_map(move |net| (0..args.seeds).map(move |s| (k, net, args.base_seed + s)))
         })
         .collect();
     let next = AtomicUsize::new(0);
@@ -305,7 +328,7 @@ fn main() {
                 let k = &kset[kidx];
                 let plan = ChaosPlan::from_seed(seed, &k.space);
                 let store = TempStore::new(k.name);
-                let job = Job::new(k.nranks, chaos_cfg(&store)).network(net.model(seed));
+                let job = Job::new(k.nranks, chaos_cfg(&store)).network(net.model(seed, k.nranks));
                 let outcome = (k.chaos)(&job, &plan).map(|run| {
                     let ok = run.bits == baselines[kidx];
                     (run, ok)
@@ -378,11 +401,8 @@ fn main() {
             }
             total_diverged += diverged + errors;
             costs.sort_unstable();
-            let (p50, p90, p99) = (
-                percentile(&costs, 0.50),
-                percentile(&costs, 0.90),
-                percentile(&costs, 0.99),
-            );
+            let (p50, p90, p99) =
+                (percentile(&costs, 0.50), percentile(&costs, 0.90), percentile(&costs, 0.99));
             table.row(vec![
                 k.name.to_string(),
                 net.name().to_string(),
@@ -393,8 +413,7 @@ fn main() {
                 max_restarts.to_string(),
                 format!("{:.2}/{:.2}", p50 as f64 / 1e6, p99 as f64 / 1e6),
             ]);
-            let hist_json =
-                hist.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+            let hist_json = hist.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
             json_kernels.push(format!(
                 "    {{\"name\": \"{}\", \"network\": \"{}\", \"runs\": {}, \"divergences\": {}, \
                  \"errors\": {}, \"faults_fired\": {}, \"max_restarts\": {}, \
@@ -424,7 +443,7 @@ fn main() {
         let k = &kset[r.kernel];
         let still_fails = |cand: &ChaosPlan| {
             let store = TempStore::new("shrink");
-            let job = Job::new(k.nranks, chaos_cfg(&store)).network(r.net.model(r.seed));
+            let job = Job::new(k.nranks, chaos_cfg(&store)).network(r.net.model(r.seed, k.nranks));
             match (k.chaos)(&job, cand) {
                 Ok(run) => run.bits != baselines[r.kernel],
                 Err(_) => true,
@@ -433,7 +452,11 @@ fn main() {
         let min = shrink_plan(&r.plan, still_fails);
         println!(
             "FAIL {} [{}] seed {}: plan {} shrank to minimal reproduction {}",
-            k.name, r.net.name(), r.seed, r.plan, min
+            k.name,
+            r.net.name(),
+            r.seed,
+            r.plan,
+            min
         );
         shrunk_json.push(format!(
             "    {{\"kernel\": \"{}\", \"network\": \"{}\", \"seed\": {}, \"plan\": \"{}\", \"shrunk\": \"{}\"}}",

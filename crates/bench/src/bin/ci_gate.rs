@@ -1,0 +1,203 @@
+//! `ci_gate` — the single source of truth for the CI step list.
+//!
+//! `.github/workflows/ci.yml` and the local `ci.sh` both run exactly this
+//! binary, so the workflow and local verification cannot drift: adding,
+//! removing, or reordering a gate step happens here and nowhere else.
+//!
+//! Steps (each prints a PASS/FAIL line; the gate exits nonzero if any
+//! step fails, after running the independent remainder so one failure
+//! does not hide another):
+//!
+//! 1. `cargo build --release --workspace`
+//! 2. `cargo test --workspace -q` (superset of the tier-1 `cargo test -q`)
+//! 3. `cargo fmt --check`
+//! 4. `cargo clippy --workspace --all-targets -- -D warnings`
+//! 5. `chaos_soak --seeds 32 --quick` (deterministic fault-injection
+//!    smoke; writes `BENCH_recovery.json` under `--out-dir`)
+//! 6. BENCH hygiene: the fresh and the committed `BENCH_recovery.json` /
+//!    `BENCH_message_path.json` parse and carry the expected schema keys
+//! 7. `recovery_trend` — restart-cost percentiles vs the copy committed at
+//!    `HEAD` (informational report; parse failures gate, noise does not)
+//!
+//! ```text
+//! ci_gate [--skip-build] [--out-dir DIR]
+//! ```
+//!
+//! `--skip-build` assumes step 1 already ran (the workflow runs the gate
+//! via `cargo run --release`, which has just built everything anyway —
+//! the explicit step stays so a local `ci.sh` from a cold tree is
+//! self-contained). `--out-dir` defaults to `target/ci` so the gate never
+//! clobbers the committed benchmark baselines.
+
+use std::process::Command;
+
+struct Step {
+    name: &'static str,
+    ok: bool,
+}
+
+fn run(name: &'static str, mut cmd: Command, results: &mut Vec<Step>) {
+    println!("\n=== ci_gate: {name} ===");
+    let ok = match cmd.status() {
+        Ok(st) => st.success(),
+        Err(e) => {
+            eprintln!("ci_gate: cannot spawn {name}: {e}");
+            false
+        }
+    };
+    println!("=== ci_gate: {name}: {} ===", if ok { "PASS" } else { "FAIL" });
+    results.push(Step { name, ok });
+}
+
+fn cargo(args: &[&str]) -> Command {
+    let mut c = Command::new(env!("CARGO"));
+    c.args(args);
+    c
+}
+
+/// Assert `body` contains every `keys` entry as a JSON key (`"key"`).
+/// Returns the missing keys.
+fn missing_keys<'k>(body: &str, keys: &[&'k str]) -> Vec<&'k str> {
+    keys.iter().filter(|k| !body.contains(&format!("\"{k}\""))).copied().collect()
+}
+
+/// BENCH hygiene: every benchmark baseline must parse and carry the schema
+/// the trend tooling reads, *before* any diff runs — a malformed baseline
+/// must fail loudly here, not as a confusing trend-diff error.
+fn check_bench_schemas(fresh_recovery: &std::path::Path, results: &mut Vec<Step>) {
+    println!("\n=== ci_gate: bench schema validation ===");
+    let recovery_keys = [
+        "bench",
+        "seeds",
+        "divergences",
+        "kernels",
+        "name",
+        "network",
+        "runs",
+        "restart_histogram",
+        "restart_cost_ns",
+        "p50",
+        "p90",
+        "p99",
+    ];
+    let message_path_keys = ["bench", "unit", "results", "name", "ns_per_op", "bytes_per_op"];
+    let targets: [(&str, String, &[&str]); 3] = [
+        ("committed BENCH_recovery.json", "BENCH_recovery.json".into(), &recovery_keys),
+        (
+            "fresh BENCH_recovery.json",
+            fresh_recovery.to_string_lossy().into_owned(),
+            &recovery_keys,
+        ),
+        ("committed BENCH_message_path.json", "BENCH_message_path.json".into(), &message_path_keys),
+    ];
+    let mut ok = true;
+    for (label, path, keys) in targets {
+        match std::fs::read_to_string(&path) {
+            Ok(body) => {
+                let missing = missing_keys(&body, keys);
+                if missing.is_empty() {
+                    println!("ci_gate: {label}: schema ok ({} keys)", keys.len());
+                } else {
+                    eprintln!("ci_gate: {label}: missing schema keys {missing:?}");
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("ci_gate: {label}: cannot read {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    println!("=== ci_gate: bench schema validation: {} ===", if ok { "PASS" } else { "FAIL" });
+    results.push(Step { name: "bench schema validation", ok });
+}
+
+fn main() {
+    let mut skip_build = false;
+    let mut out_dir = "target/ci".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--skip-build" => skip_build = true,
+            "--out-dir" => {
+                out_dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--out-dir needs a value");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        std::process::exit(2);
+    }
+    let fresh_recovery = std::path::Path::new(&out_dir).join("BENCH_recovery.json");
+
+    let mut results = Vec::new();
+    if !skip_build {
+        run(
+            "cargo build --release --workspace",
+            cargo(&["build", "--release", "--workspace"]),
+            &mut results,
+        );
+    }
+    run("cargo test --workspace -q", cargo(&["test", "--workspace", "-q"]), &mut results);
+    run("cargo fmt --check", cargo(&["fmt", "--check"]), &mut results);
+    run(
+        "cargo clippy -D warnings",
+        cargo(&["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"]),
+        &mut results,
+    );
+    {
+        let mut soak = cargo(&[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "c3-bench",
+            "--bin",
+            "chaos_soak",
+            "--",
+            "--seeds",
+            "32",
+            "--quick",
+        ]);
+        soak.env("BENCH_OUT_DIR", &out_dir);
+        run("chaos_soak --seeds 32 --quick", soak, &mut results);
+    }
+    check_bench_schemas(&fresh_recovery, &mut results);
+    run(
+        "recovery_trend vs HEAD",
+        cargo(&[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "c3-bench",
+            "--bin",
+            "recovery_trend",
+            "--",
+            "--current",
+            &fresh_recovery.to_string_lossy(),
+        ]),
+        &mut results,
+    );
+
+    println!("\n=== ci_gate summary ===");
+    let mut failed = 0;
+    for s in &results {
+        println!("  {} {}", if s.ok { "PASS" } else { "FAIL" }, s.name);
+        if !s.ok {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        println!("{failed} step(s) failed");
+        std::process::exit(1);
+    }
+    println!("all {} steps passed", results.len());
+}

@@ -149,7 +149,9 @@ fn main() {
 
     // Hand-rolled JSON (no serde in the container): flat schema, one object
     // per scenario.
-    let mut json = String::from("{\n  \"bench\": \"message_path\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n");
+    let mut json = String::from(
+        "{\n  \"bench\": \"message_path\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n",
+    );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}, \"bytes_per_op\": {}}}{}\n",

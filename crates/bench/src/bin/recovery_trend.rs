@@ -43,8 +43,7 @@ fn str_field(obj: &str, key: &str) -> Option<String> {
 fn int_field(obj: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\": ");
     let start = obj.find(&pat)? + pat.len();
-    let digits: String =
-        obj[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = obj[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
     digits.parse().ok()
 }
 
@@ -52,8 +51,7 @@ fn int_field(obj: &str, key: &str) -> Option<u64> {
 /// hand-rolled scanner (no JSON dependency in the container): each entry is
 /// one `{...}` object containing a nested `restart_cost_ns` object.
 fn parse(body: &str) -> Result<Vec<Row>, String> {
-    let kernels_at =
-        body.find("\"kernels\"").ok_or_else(|| "no \"kernels\" array".to_string())?;
+    let kernels_at = body.find("\"kernels\"").ok_or_else(|| "no \"kernels\" array".to_string())?;
     let tail = &body[kernels_at..];
     // Entries contain nested arrays (`restart_histogram`), so the array's
     // end is located by the next top-level key, not by the first `]`.

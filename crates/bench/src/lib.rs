@@ -23,9 +23,9 @@
 //! end-to-end per-operation protocol overhead).
 
 pub mod paper;
-pub mod tables;
 pub mod report;
 pub mod runner;
+pub mod tables;
 
 pub use report::{Align, Table};
 pub use runner::{run_c3, run_original, Bench, Timed};

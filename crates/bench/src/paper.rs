@@ -92,20 +92,90 @@ pub struct CkptRow {
 
 /// Table 4 (Lemieux, with checkpoints), 64-processor rows.
 pub const TABLE4_LEMIEUX_64: &[CkptRow] = &[
-    CkptRow { code: "CG (D)", cfg1_s: 1679.0, cfg2_s: 1703.0, cfg3_s: 1705.0, size_mb: 652.02, cost_s: 26.0 },
-    CkptRow { code: "LU (D)", cfg1_s: 1571.0, cfg2_s: 1543.0, cfg3_s: 1554.0, size_mb: 190.66, cost_s: -17.0 },
-    CkptRow { code: "SP (D)", cfg1_s: 3130.0, cfg2_s: 3038.0, cfg3_s: 3264.0, size_mb: 422.85, cost_s: 134.0 },
-    CkptRow { code: "SMG2000", cfg1_s: 143.0, cfg2_s: 143.0, cfg3_s: 145.0, size_mb: 2.88, cost_s: 2.0 },
-    CkptRow { code: "HPL", cfg1_s: 286.0, cfg2_s: 285.0, cfg3_s: 285.0, size_mb: 0.02, cost_s: 0.0 },
+    CkptRow {
+        code: "CG (D)",
+        cfg1_s: 1679.0,
+        cfg2_s: 1703.0,
+        cfg3_s: 1705.0,
+        size_mb: 652.02,
+        cost_s: 26.0,
+    },
+    CkptRow {
+        code: "LU (D)",
+        cfg1_s: 1571.0,
+        cfg2_s: 1543.0,
+        cfg3_s: 1554.0,
+        size_mb: 190.66,
+        cost_s: -17.0,
+    },
+    CkptRow {
+        code: "SP (D)",
+        cfg1_s: 3130.0,
+        cfg2_s: 3038.0,
+        cfg3_s: 3264.0,
+        size_mb: 422.85,
+        cost_s: 134.0,
+    },
+    CkptRow {
+        code: "SMG2000",
+        cfg1_s: 143.0,
+        cfg2_s: 143.0,
+        cfg3_s: 145.0,
+        size_mb: 2.88,
+        cost_s: 2.0,
+    },
+    CkptRow {
+        code: "HPL",
+        cfg1_s: 286.0,
+        cfg2_s: 285.0,
+        cfg3_s: 285.0,
+        size_mb: 0.02,
+        cost_s: 0.0,
+    },
 ];
 
 /// Table 5 (Velocity 2 / CMI, with checkpoints), smallest-procs rows.
 pub const TABLE5_VELOCITY2: &[CkptRow] = &[
-    CkptRow { code: "CG (D)", cfg1_s: 4295.0, cfg2_s: 4296.0, cfg3_s: 4304.0, size_mb: 455.60, cost_s: 9.0 },
-    CkptRow { code: "LU (D)", cfg1_s: 3284.0, cfg2_s: 3271.0, cfg3_s: 3315.0, size_mb: 190.57, cost_s: 31.0 },
-    CkptRow { code: "SP (D)", cfg1_s: 4307.0, cfg2_s: f64::NAN, cfg3_s: 4423.0, size_mb: 422.76, cost_s: 116.0 },
-    CkptRow { code: "SMG2000", cfg1_s: 340.0, cfg2_s: 333.0, cfg3_s: 338.0, size_mb: 506.41, cost_s: -2.0 },
-    CkptRow { code: "HPL", cfg1_s: 3133.0, cfg2_s: 3136.0, cfg3_s: 3140.0, size_mb: 0.34, cost_s: 7.0 },
+    CkptRow {
+        code: "CG (D)",
+        cfg1_s: 4295.0,
+        cfg2_s: 4296.0,
+        cfg3_s: 4304.0,
+        size_mb: 455.60,
+        cost_s: 9.0,
+    },
+    CkptRow {
+        code: "LU (D)",
+        cfg1_s: 3284.0,
+        cfg2_s: 3271.0,
+        cfg3_s: 3315.0,
+        size_mb: 190.57,
+        cost_s: 31.0,
+    },
+    CkptRow {
+        code: "SP (D)",
+        cfg1_s: 4307.0,
+        cfg2_s: f64::NAN,
+        cfg3_s: 4423.0,
+        size_mb: 422.76,
+        cost_s: 116.0,
+    },
+    CkptRow {
+        code: "SMG2000",
+        cfg1_s: 340.0,
+        cfg2_s: 333.0,
+        cfg3_s: 338.0,
+        size_mb: 506.41,
+        cost_s: -2.0,
+    },
+    CkptRow {
+        code: "HPL",
+        cfg1_s: 3133.0,
+        cfg2_s: 3136.0,
+        cfg3_s: 3140.0,
+        size_mb: 0.34,
+        cost_s: 7.0,
+    },
 ];
 
 /// One Table 6/7 row: restart cost, uniprocessor.

@@ -114,10 +114,7 @@ mod tests {
 
     #[test]
     fn renders_aligned_rows() {
-        let mut t = Table::new(
-            "Demo",
-            &[("name", Align::Left), ("value", Align::Right)],
-        );
+        let mut t = Table::new("Demo", &[("name", Align::Left), ("value", Align::Right)]);
         t.row(vec!["alpha".into(), "1.0".into()]);
         t.separator();
         t.row(vec!["b".into(), "123.45".into()]);

@@ -4,8 +4,8 @@
 
 use crate::paper;
 use crate::report::{pct, secs, Align, Table};
-use crate::runner::{best_of, checkpoint_sizes, run_c3, run_original, tmp_store, Bench};
 use crate::runner::assert_same_results;
+use crate::runner::{best_of, checkpoint_sizes, run_c3, run_original, tmp_store, Bench};
 use c3::C3Config;
 use mpisim::{ClusterModel, JobSpec};
 
@@ -64,8 +64,7 @@ pub fn overhead_table(
             let cfg = C3Config::passive(tmp_store(&format!("oh-{}-{p}", bench.name())));
             let c3r = best_of(REPS, || run_c3(&spec, &cfg, bench));
             assert_same_results(bench.name(), &orig.results, &c3r.results);
-            let rel = (c3r.wall.as_secs_f64() - orig.wall.as_secs_f64())
-                / orig.wall.as_secs_f64();
+            let rel = (c3r.wall.as_secs_f64() - orig.wall.as_secs_f64()) / orig.wall.as_secs_f64();
             t.row(vec![
                 if i == 0 { bench.name().to_string() } else { String::new() },
                 p.to_string(),
@@ -111,9 +110,8 @@ pub fn with_ckpt_table(
         let r1 = best_of(REPS, || run_c3(&spec, &cfg1, bench));
 
         // Configuration #2: one checkpoint, nothing written to disk.
-        let cfg2 =
-            C3Config::at_pragmas(tmp_store(&format!("c2-{}", bench.name())), vec![pragma])
-                .no_disk();
+        let cfg2 = C3Config::at_pragmas(tmp_store(&format!("c2-{}", bench.name())), vec![pragma])
+            .no_disk();
         let r2 = best_of(REPS, || run_c3(&spec, &cfg2, bench));
         assert!(r2.stats.ckpts_committed >= 1, "{}: cfg#2 never committed", bench.name());
 
@@ -178,8 +176,7 @@ pub fn restart_table(
         let cfg = C3Config::at_pragmas(&root, vec![mid_pragma(&bench)]);
         let r1 = run_c3(&spec, &cfg, bench);
         assert!(r1.stats.ckpts_committed >= 1, "{}: no commit", bench.name());
-        let after_ckpt =
-            r1.wall.as_secs_f64() - r1.stats.last_commit_wall_ns as f64 / 1e9;
+        let after_ckpt = r1.wall.as_secs_f64() - r1.stats.last_commit_wall_ns as f64 / 1e9;
 
         // Run 2: restart from the stored checkpoint, run to the end.
         let t0 = std::time::Instant::now();

@@ -8,9 +8,9 @@
 //! shrinking (a failing case panics with its inputs printed via the assert
 //! message instead of a minimized counterexample).
 
-pub mod strategy;
 pub mod collection;
 pub mod sample;
+pub mod strategy;
 pub mod string;
 pub mod test_runner;
 

@@ -63,11 +63,8 @@ fn parse(pattern: &str) -> Vec<Piece> {
         };
         // Optional repetition `{m}` or `{m,n}`.
         let (min, max) = if i < chars.len() && chars[i] == '{' {
-            let close = chars[i..]
-                .iter()
-                .position(|c| *c == '}')
-                .expect("unterminated repetition")
-                + i;
+            let close =
+                chars[i..].iter().position(|c| *c == '}').expect("unterminated repetition") + i;
             let body: String = chars[i + 1..close].iter().collect();
             i = close + 1;
             match body.split_once(',') {

@@ -51,7 +51,11 @@ fn put_pooled(ctx: &mut C3Ctx<'_>, version: u64, name: &str, e: Encoder) -> Resu
 
 /// Write the recovery-line sections. Every section encodes into a buffer
 /// leased from `statesave::memmgr`'s scratch pool.
-pub(crate) fn write_line_sections(ctx: &mut C3Ctx<'_>, version: u64, app_state: Vec<u8>) -> Result<()> {
+pub(crate) fn write_line_sections(
+    ctx: &mut C3Ctx<'_>,
+    version: u64,
+    app_state: Vec<u8>,
+) -> Result<()> {
     put(ctx, version, "app", &app_state)?;
     statesave::scratch().give_back(app_state);
 

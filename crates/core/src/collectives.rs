@@ -56,7 +56,12 @@ impl<'a> C3Ctx<'a> {
             let payload = Payload::from_vec(std::mem::take(data));
             for dst in 0..n {
                 if dst != root {
-                    self.stream_send_payload(dst, COMM_WORLD.0, StreamKind::Coll { call }, payload.clone())?;
+                    self.stream_send_payload(
+                        dst,
+                        COMM_WORLD.0,
+                        StreamKind::Coll { call },
+                        payload.clone(),
+                    )?;
                 }
             }
             *data = payload.into_vec();
@@ -123,7 +128,12 @@ impl<'a> C3Ctx<'a> {
         let payload = self.shared_payload(mine);
         for dst in 0..n {
             if dst != me {
-                self.stream_send_payload(dst, COMM_WORLD.0, StreamKind::Coll { call }, payload.clone())?;
+                self.stream_send_payload(
+                    dst,
+                    COMM_WORLD.0,
+                    StreamKind::Coll { call },
+                    payload.clone(),
+                )?;
             }
         }
         let mut out = Vec::with_capacity(n);
@@ -229,7 +239,12 @@ impl<'a> C3Ctx<'a> {
         let n = self.nranks();
         let payload = self.shared_payload(data);
         for dst in me + 1..n {
-            self.stream_send_payload(dst, COMM_WORLD.0, StreamKind::Coll { call }, payload.clone())?;
+            self.stream_send_payload(
+                dst,
+                COMM_WORLD.0,
+                StreamKind::Coll { call },
+                payload.clone(),
+            )?;
         }
         let mut acc: Option<Vec<u8>> = None;
         for src in 0..me {

@@ -179,9 +179,7 @@ impl CommTable {
                 0 => CommRecipe::World,
                 1 => CommRecipe::Split { parent: d.u64()?, color: d.load()?, key: d.i64()? },
                 2 => CommRecipe::Dup { parent: d.u64()? },
-                other => {
-                    return Err(CodecError(format!("bad comm recipe code {other}")))
-                }
+                other => return Err(CodecError(format!("bad comm recipe code {other}"))),
             };
             let members = if d.bool()? {
                 Some(d.u64_vec()?.into_iter().map(|r| r as usize).collect())
@@ -304,10 +302,8 @@ impl<'a> C3Ctx<'a> {
         // Wire id from the parent's creation counter (consistent across the
         // parent's members because the exchange above is collective).
         let (parent_wire, idx) = {
-            let e = self
-                .comms
-                .get_mut(c)
-                .ok_or_else(|| C3Error::Protocol("parent vanished".into()))?;
+            let e =
+                self.comms.get_mut(c).ok_or_else(|| C3Error::Protocol("parent vanished".into()))?;
             let idx = e.children;
             e.children += 1;
             (e.wire, idx)
@@ -351,10 +347,8 @@ impl<'a> C3Ctx<'a> {
         // Collective over c (synchronizes the children counter).
         self.barrier_on(c)?;
         let (parent_wire, idx) = {
-            let e = self
-                .comms
-                .get_mut(c)
-                .ok_or_else(|| C3Error::Protocol("parent vanished".into()))?;
+            let e =
+                self.comms.get_mut(c).ok_or_else(|| C3Error::Protocol("parent vanished".into()))?;
             let idx = e.children;
             e.children += 1;
             (e.wire, idx)
@@ -471,7 +465,12 @@ impl<'a> C3Ctx<'a> {
             let payload = mpisim::Payload::from_vec(std::mem::take(data));
             for &dst in &members {
                 if dst != me_world {
-                    self.stream_send_payload(dst, wire, StreamKind::Coll { call }, payload.clone())?;
+                    self.stream_send_payload(
+                        dst,
+                        wire,
+                        StreamKind::Coll { call },
+                        payload.clone(),
+                    )?;
                 }
             }
             *data = payload.into_vec();

@@ -75,10 +75,7 @@ impl Counters {
 
     /// Has every peer's CI arrived?
     pub fn all_ci_received(&self, me: usize) -> bool {
-        self.late_expected
-            .iter()
-            .enumerate()
-            .all(|(q, v)| q == me || v.is_some())
+        self.late_expected.iter().enumerate().all(|(q, v)| q == me || v.is_some())
     }
 
     /// The local commit condition: all CIs present and every promised late

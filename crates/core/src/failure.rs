@@ -101,27 +101,50 @@ pub struct NetFault {
     pub dup_permille: u32,
     /// Enable random cross-signature reordering (standard parameters).
     pub reorder: bool,
+    /// Bound every destination mailbox to this many unclaimed application
+    /// messages (`mpisim::NetModel::mailbox_capacity`): senders park when
+    /// the destination is full, exercising the protocol's flow-control
+    /// assumptions. `None` leaves the base model's bound unchanged.
+    pub mailbox_capacity: Option<usize>,
 }
 
 impl NetFault {
+    /// A fault component that perturbs nothing (useful as a struct-update
+    /// base when only some axes matter).
+    pub fn none() -> Self {
+        NetFault { drop_permille: 0, dup_permille: 0, reorder: false, mailbox_capacity: None }
+    }
+
     /// Merge into a base network model. Strictly strengthening: rates are
     /// `max`ed with the base's (a plan can never *weaken* the network the
     /// job advertises, which also keeps [`shrink_plan`]'s weaker-is-simpler
     /// ordering monotone — shrinking the component to nothing converges on
     /// exactly the base model), reordering is enabled on top of the base if
-    /// requested (never disabled), and the base seed is kept.
+    /// requested (never disabled), the mailbox bound is the *tighter* of
+    /// the two (a smaller capacity is the stronger perturbation), and the
+    /// base seed is kept.
     pub fn apply_to(self, mut base: NetModel) -> NetModel {
         base.drop_permille = base.drop_permille.max(self.drop_permille.min(1000));
         base.dup_permille = base.dup_permille.max(self.dup_permille.min(1000));
         if self.reorder && matches!(base.reorder, ReorderModel::None) {
             base.reorder = ReorderModel::Random { hold_permille: 300, max_held: 4 };
         }
+        // Clamped to 1 like every other capacity entry point, so the model
+        // a plan advertises always matches the bound the substrate enforces.
+        let fault_cap = self.mailbox_capacity.map(|c| c.max(1));
+        base.mailbox_capacity = match (base.mailbox_capacity, fault_cap) {
+            (Some(b), Some(f)) => Some(b.min(f)),
+            (b, f) => f.or(b),
+        };
         base
     }
 
     /// True when this entry perturbs nothing (candidate for removal).
     pub fn is_noop(&self) -> bool {
-        self.drop_permille == 0 && self.dup_permille == 0 && !self.reorder
+        self.drop_permille == 0
+            && self.dup_permille == 0
+            && !self.reorder
+            && self.mailbox_capacity.is_none()
     }
 }
 
@@ -130,6 +153,9 @@ impl std::fmt::Display for NetFault {
         write!(f, "net{{drop:{}‰,dup:{}‰", self.drop_permille, self.dup_permille)?;
         if self.reorder {
             write!(f, ",reorder")?;
+        }
+        if let Some(cap) = self.mailbox_capacity {
+            write!(f, ",cap:{cap}")?;
         }
         write!(f, "}}")
     }
@@ -208,12 +234,22 @@ impl ChaosPlan {
             faults.push(FailurePlan { rank, when });
         }
         // Half the seeds also perturb the network: drop/duplication rates in
-        // {10,20,30}‰ and optional random reordering.
+        // {10,20,30}‰, optional random reordering, and (for a third of
+        // those) a bounded mailbox. The capacity floor is 2·nranks: the
+        // protocol's own collectives legitimately buffer up to ~2(n-1)
+        // messages per destination across adjacent rounds, so anything
+        // tighter would deadlock correct programs rather than probe the
+        // protocol's flow-control handling.
         let net = if rng.gen_range(0..2) == 1 {
             Some(NetFault {
                 drop_permille: 10 * (1 + rng.gen_range(0..3)),
                 dup_permille: 10 * rng.gen_range(0..3),
                 reorder: rng.gen_range(0..2) == 1,
+                mailbox_capacity: if rng.gen_range(0..3) == 0 {
+                    Some(space.nranks * (2 + rng.gen_range(0..3) as usize))
+                } else {
+                    None
+                },
             })
         } else {
             None
@@ -307,15 +343,31 @@ pub fn shrink_plan(plan: &ChaosPlan, still_fails: impl Fn(&ChaosPlan) -> bool) -
 }
 
 /// Strictly-weaker single-step candidates for a network fault (disable
-/// reordering; halve, then decrement, each rate).
+/// reordering; halve, then decrement, each rate; relax the mailbox bound
+/// toward unbounded — a *larger* capacity is the weaker perturbation).
 fn simpler_net(nf: &NetFault) -> Vec<NetFault> {
     let mut out = Vec::new();
     if nf.reorder {
         out.push(NetFault { reorder: false, ..*nf });
     }
+    if let Some(cap) = nf.mailbox_capacity {
+        out.push(NetFault { mailbox_capacity: None, ..*nf });
+        // Guards keep every candidate strictly different from the input
+        // (cap 0 would make cap*2 a no-op candidate and stall the loop).
+        if cap > 0 && cap < 4096 {
+            out.push(NetFault { mailbox_capacity: Some(cap * 2), ..*nf });
+            out.push(NetFault { mailbox_capacity: Some(cap + 1), ..*nf });
+        }
+    }
     for (halved, dec) in [
-        (NetFault { drop_permille: nf.drop_permille / 2, ..*nf }, NetFault { drop_permille: nf.drop_permille.saturating_sub(1), ..*nf }),
-        (NetFault { dup_permille: nf.dup_permille / 2, ..*nf }, NetFault { dup_permille: nf.dup_permille.saturating_sub(1), ..*nf }),
+        (
+            NetFault { drop_permille: nf.drop_permille / 2, ..*nf },
+            NetFault { drop_permille: nf.drop_permille.saturating_sub(1), ..*nf },
+        ),
+        (
+            NetFault { dup_permille: nf.dup_permille / 2, ..*nf },
+            NetFault { dup_permille: nf.dup_permille.saturating_sub(1), ..*nf },
+        ),
     ] {
         if halved != *nf {
             out.push(halved);
@@ -380,7 +432,11 @@ where
 
 /// Deprecated shim: resume from the last committed recovery line (§6.5).
 #[deprecated(note = "use `c3::Job::new(n, cfg).restore().run(app)`")]
-pub fn run_job_restored<T, F>(spec: &JobSpec, cfg: &C3Config, app: F) -> Result<JobHandle<T>, JobError>
+pub fn run_job_restored<T, F>(
+    spec: &JobSpec,
+    cfg: &C3Config,
+    app: F,
+) -> Result<JobHandle<T>, JobError>
 where
     T: Send,
     F: Fn(&mut C3Ctx<'_>) -> Result<T, C3Error> + Sync,
@@ -476,9 +532,8 @@ mod tests {
             FailurePlan { rank: 3, when: FailAt::Op(123) },
             FailurePlan { rank: 2, when: FailAt::DuringRestore { nth_replay: 3 } },
         ]);
-        let fails = |p: &ChaosPlan| {
-            p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10))
-        };
+        let fails =
+            |p: &ChaosPlan| p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10));
         assert!(fails(&bad));
         let min = shrink_plan(&bad, fails);
         assert_eq!(
@@ -497,7 +552,9 @@ mod tests {
             FailurePlan { rank: 3, when: FailAt::DuringRestore { nth_replay: 4 } },
         ]);
         let fails = |p: &ChaosPlan| {
-            p.faults.iter().any(|f| matches!(f.when, FailAt::Pragma(_) | FailAt::AfterCommits { .. }))
+            p.faults
+                .iter()
+                .any(|f| matches!(f.when, FailAt::Pragma(_) | FailAt::AfterCommits { .. }))
                 && p.faults.iter().any(|f| matches!(f.when, FailAt::DuringRestore { .. }))
         };
         assert!(fails(&bad));
@@ -520,7 +577,12 @@ mod tests {
             FailurePlan { rank: 0, when: FailAt::DuringRestore { nth_replay: 2 } },
         ]);
         assert_eq!(plan.to_string(), "[rank2@after-commits(1)@pragma(5), rank0@during-restore(2)]");
-        let with_net = plan.with_net(NetFault { drop_permille: 20, dup_permille: 10, reorder: true });
+        let with_net = plan.with_net(NetFault {
+            drop_permille: 20,
+            dup_permille: 10,
+            reorder: true,
+            mailbox_capacity: None,
+        });
         assert_eq!(
             with_net.to_string(),
             "[rank2@after-commits(1)@pragma(5), rank0@during-restore(2)] + net{drop:20‰,dup:10‰,reorder}"
@@ -545,17 +607,24 @@ mod tests {
 
     #[test]
     fn shrinker_removes_irrelevant_network_faults() {
-        let bad = ChaosPlan::new(vec![FailurePlan { rank: 1, when: FailAt::Op(64) }])
-            .with_net(NetFault { drop_permille: 30, dup_permille: 20, reorder: true });
-        let fails = |p: &ChaosPlan| p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10));
+        let bad = ChaosPlan::new(vec![FailurePlan { rank: 1, when: FailAt::Op(64) }]).with_net(
+            NetFault { drop_permille: 30, dup_permille: 20, reorder: true, mailbox_capacity: None },
+        );
+        let fails =
+            |p: &ChaosPlan| p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10));
         let min = shrink_plan(&bad, fails);
-        assert_eq!(min, ChaosPlan::single(FailurePlan { rank: 0, when: FailAt::Op(10) }), "got {min}");
+        assert_eq!(
+            min,
+            ChaosPlan::single(FailurePlan { rank: 0, when: FailAt::Op(10) }),
+            "got {min}"
+        );
     }
 
     #[test]
     fn shrinker_minimizes_network_faults_when_they_matter() {
-        let bad = ChaosPlan::new(vec![FailurePlan { rank: 2, when: FailAt::Pragma(9) }])
-            .with_net(NetFault { drop_permille: 37, dup_permille: 12, reorder: true });
+        let bad = ChaosPlan::new(vec![FailurePlan { rank: 2, when: FailAt::Pragma(9) }]).with_net(
+            NetFault { drop_permille: 37, dup_permille: 12, reorder: true, mailbox_capacity: None },
+        );
         // Oracle: fails iff the network can drop at a rate of at least 10‰.
         // No rank death is needed, so the minimal plan has NO fail-stop
         // fault at all — only the minimized network component.
@@ -564,14 +633,110 @@ mod tests {
         assert!(min.faults.is_empty(), "got {min}");
         assert_eq!(
             min.net,
-            Some(NetFault { drop_permille: 10, dup_permille: 0, reorder: false }),
+            Some(NetFault {
+                drop_permille: 10,
+                dup_permille: 0,
+                reorder: false,
+                mailbox_capacity: None
+            }),
             "got {min}"
         );
     }
 
     #[test]
+    fn seeds_derive_mailbox_capacities_deterministically_and_above_the_floor() {
+        let space = ChaosSpace { nranks: 4, max_pragma: 10, max_op: 200 };
+        let mut with_cap = 0;
+        for seed in 0..600u64 {
+            let a = ChaosPlan::from_seed(seed, &space);
+            assert_eq!(a.net, ChaosPlan::from_seed(seed, &space).net, "seed {seed}");
+            if let Some(cap) = a.net.and_then(|nf| nf.mailbox_capacity) {
+                with_cap += 1;
+                // Floor 2·nranks: tighter bounds deadlock correct programs
+                // (the protocol's collectives buffer ~2(n-1) per peer).
+                assert!(
+                    (2 * space.nranks..=4 * space.nranks).contains(&cap),
+                    "seed {seed}: capacity {cap} outside [{}, {}]",
+                    2 * space.nranks,
+                    4 * space.nranks
+                );
+            }
+        }
+        // Roughly a sixth of all seeds (a third of the net-faulted half).
+        assert!((40..180).contains(&with_cap), "{with_cap} capacity-bounded seeds out of 600");
+    }
+
+    #[test]
+    fn shrinker_relaxes_the_mailbox_bound_toward_unbounded() {
+        let bad = ChaosPlan::new(vec![FailurePlan { rank: 2, when: FailAt::Pragma(9) }]).with_net(
+            NetFault {
+                drop_permille: 30,
+                dup_permille: 10,
+                reorder: true,
+                mailbox_capacity: Some(8),
+            },
+        );
+        // Oracle: fails iff the mailbox bound is at most 20 — the minimal
+        // (weakest still-failing) reproduction is capacity 20 alone.
+        let fails =
+            |p: &ChaosPlan| p.net.is_some_and(|n| n.mailbox_capacity.is_some_and(|c| c <= 20));
+        assert!(fails(&bad));
+        let min = shrink_plan(&bad, fails);
+        assert!(min.faults.is_empty(), "got {min}");
+        assert_eq!(
+            min.net,
+            Some(NetFault { mailbox_capacity: Some(20), ..NetFault::none() }),
+            "got {min}"
+        );
+    }
+
+    #[test]
+    fn shrinker_drops_an_irrelevant_mailbox_bound() {
+        let bad = ChaosPlan::new(vec![FailurePlan { rank: 1, when: FailAt::Op(64) }]).with_net(
+            NetFault {
+                drop_permille: 0,
+                dup_permille: 0,
+                reorder: false,
+                mailbox_capacity: Some(8),
+            },
+        );
+        let fails =
+            |p: &ChaosPlan| p.faults.iter().any(|f| matches!(f.when, FailAt::Op(n) if n >= 10));
+        let min = shrink_plan(&bad, fails);
+        assert_eq!(
+            min,
+            ChaosPlan::single(FailurePlan { rank: 0, when: FailAt::Op(10) }),
+            "got {min}"
+        );
+    }
+
+    #[test]
+    fn mailbox_bound_merge_takes_the_tighter_capacity() {
+        let nf = NetFault { mailbox_capacity: Some(8), ..NetFault::none() };
+        assert_eq!(nf.apply_to(NetModel::reliable()).mailbox_capacity, Some(8));
+        assert_eq!(nf.apply_to(NetModel::reliable().mailbox_capacity(4)).mailbox_capacity, Some(4));
+        assert_eq!(
+            nf.apply_to(NetModel::reliable().mailbox_capacity(64)).mailbox_capacity,
+            Some(8)
+        );
+        // Capacity 0 is clamped to 1 (matching every other entry point), so
+        // the advertised model always equals the enforced bound.
+        let zero = NetFault { mailbox_capacity: Some(0), ..NetFault::none() };
+        assert_eq!(zero.apply_to(NetModel::reliable()).mailbox_capacity, Some(1));
+        let none = NetFault::none();
+        assert_eq!(
+            none.apply_to(NetModel::reliable().mailbox_capacity(4)).mailbox_capacity,
+            Some(4)
+        );
+        assert!(none.is_noop());
+        assert!(!nf.is_noop());
+        assert_eq!(nf.to_string(), "net{drop:0‰,dup:0‰,cap:8}");
+    }
+
+    #[test]
     fn net_fault_merges_onto_base_model() {
-        let nf = NetFault { drop_permille: 25, dup_permille: 15, reorder: true };
+        let nf =
+            NetFault { drop_permille: 25, dup_permille: 15, reorder: true, mailbox_capacity: None };
         let merged = nf.apply_to(NetModel::reliable().seed(9));
         assert_eq!(merged.drop_permille, 25);
         assert_eq!(merged.dup_permille, 15);
@@ -579,13 +744,23 @@ mod tests {
         assert!(matches!(merged.reorder, ReorderModel::Random { .. }));
         // Strictly strengthening: a weaker component never lowers the base's
         // advertised rates (and shrinking it to nothing restores the base).
-        let weak = NetFault { drop_permille: 5, dup_permille: 0, reorder: false };
+        let weak =
+            NetFault { drop_permille: 5, dup_permille: 0, reorder: false, mailbox_capacity: None };
         let merged = weak.apply_to(NetModel::reliable().drop_rate(15).duplicate_rate(10));
         assert_eq!((merged.drop_permille, merged.dup_permille), (15, 10));
         // An existing reorder model is never downgraded.
-        let base = NetModel::reorder(3).with_reorder(ReorderModel::Random { hold_permille: 700, max_held: 8 });
-        let merged = NetFault { drop_permille: 0, dup_permille: 0, reorder: false }.apply_to(base);
+        let base = NetModel::reorder(3)
+            .with_reorder(ReorderModel::Random { hold_permille: 700, max_held: 8 });
+        let merged =
+            NetFault { drop_permille: 0, dup_permille: 0, reorder: false, mailbox_capacity: None }
+                .apply_to(base);
         assert_eq!(merged.reorder, ReorderModel::Random { hold_permille: 700, max_held: 8 });
-        assert!(NetFault { drop_permille: 0, dup_permille: 0, reorder: false }.is_noop());
+        assert!(NetFault {
+            drop_permille: 0,
+            dup_permille: 0,
+            reorder: false,
+            mailbox_capacity: None
+        }
+        .is_noop());
     }
 }

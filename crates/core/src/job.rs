@@ -33,9 +33,7 @@
 
 use crate::api::{C3Config, C3Ctx, C3Error, Clock, FailureTrigger};
 use crate::failure::{ChaosPlan, FailurePlan};
-use mpisim::{
-    ClusterModel, JobError, JobHandle, JobSpec, NetModel, INJECTED_FAULT_MARKER,
-};
+use mpisim::{ClusterModel, JobError, JobHandle, JobSpec, NetModel, INJECTED_FAULT_MARKER};
 use statesave::CkptStore;
 use std::sync::Arc;
 

@@ -36,7 +36,6 @@ pub mod api;
 pub mod ckpt;
 pub mod collectives;
 pub mod comms;
-pub mod topo;
 pub mod control;
 pub mod counters;
 pub mod failure;
@@ -47,19 +46,20 @@ pub mod protocol;
 pub mod registries;
 pub mod requests;
 pub mod tables;
+pub mod topo;
 
 pub use api::{C3Config, C3Ctx, C3Error, C3Stats, CkptPolicy, Clock};
 pub use comms::{C3Comm, COMM_WORLD_HANDLE};
-pub use topo::CartTopo;
-pub use job::{Job, RecoveredJob};
 #[allow(deprecated)]
 pub use failure::{
     run_job, run_job_restored, run_job_with_chaos, run_job_with_failure, shrink_plan, ChaosPlan,
     ChaosSpace, FailAt, FailurePlan, NetFault,
 };
+pub use job::{Job, RecoveredJob};
 pub use mode::Mode;
 pub use piggyback::{MsgClass, PigData};
 pub use registries::{StreamKind, StreamSig};
+pub use topo::CartTopo;
 
 /// Result alias for protocol operations.
 pub type Result<T> = std::result::Result<T, api::C3Error>;

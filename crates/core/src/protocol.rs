@@ -427,9 +427,16 @@ impl<'a> C3Ctx<'a> {
     /// Create a contiguous derived datatype (§4.2). The recipe is recorded
     /// in the handle table and recreated on recovery; the handle value is
     /// stable across restarts.
-    pub fn type_contiguous(&mut self, count: usize, child: DatatypeHandle) -> Result<DatatypeHandle> {
+    pub fn type_contiguous(
+        &mut self,
+        count: usize,
+        child: DatatypeHandle,
+    ) -> Result<DatatypeHandle> {
         self.tables
-            .create_datatype(self.mpi, crate::tables::DtRecipe::Contiguous { count, child: child.0 })
+            .create_datatype(
+                self.mpi,
+                crate::tables::DtRecipe::Contiguous { count, child: child.0 },
+            )
             .map_err(C3Error::Mpi)
     }
 
@@ -509,10 +516,8 @@ impl<'a> C3Ctx<'a> {
         if self.mode == Mode::Restore {
             return self.test_restore(r);
         }
-        let entry = self
-            .reqs
-            .get(r)
-            .ok_or_else(|| C3Error::Protocol(format!("unknown request {r:?}")))?;
+        let entry =
+            self.reqs.get(r).ok_or_else(|| C3Error::Protocol(format!("unknown request {r:?}")))?;
         match entry.kind {
             C3ReqKind::Send => {
                 let st = Status { src: entry.src as usize, tag: entry.tag, bytes: 0, piggyback: 0 };
@@ -548,10 +553,8 @@ impl<'a> C3Ctx<'a> {
         if self.mode == Mode::Restore {
             return self.wait_restore(r);
         }
-        let entry = self
-            .reqs
-            .get(r)
-            .ok_or_else(|| C3Error::Protocol(format!("unknown request {r:?}")))?;
+        let entry =
+            self.reqs.get(r).ok_or_else(|| C3Error::Protocol(format!("unknown request {r:?}")))?;
         match entry.kind {
             C3ReqKind::Send => {
                 let st = Status { src: entry.src as usize, tag: entry.tag, bytes: 0, piggyback: 0 };
@@ -772,15 +775,18 @@ impl<'a> C3Ctx<'a> {
         };
         match self.mpi.test(mreq).map_err(C3Error::Mpi)? {
             None => Ok(None),
-            Some((st, payload)) => {
-                self.complete_recv(r, st, payload.unwrap_or_default()).map(Some)
-            }
+            Some((st, payload)) => self.complete_recv(r, st, payload.unwrap_or_default()).map(Some),
         }
     }
 
     /// Common completion path for receives in normal modes: classify, mark
     /// the entry, apply protocol effects, release.
-    fn complete_recv(&mut self, r: C3Req, st: Status, payload: Vec<u8>) -> Result<(Status, Vec<u8>)> {
+    fn complete_recv(
+        &mut self,
+        r: C3Req,
+        st: Status,
+        payload: Vec<u8>,
+    ) -> Result<(Status, Vec<u8>)> {
         let (class, logging) = self.classify(st.piggyback);
         let during_nondet = self.mode == Mode::NonDetLog;
         let (wildcard, comm) = {

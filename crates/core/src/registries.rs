@@ -172,10 +172,7 @@ impl ReplayLog {
     /// Find and remove the first entry matching a p2p receive request.
     /// Returns the entry (late data or wild-card signature to force).
     pub fn take_p2p_match(&mut self, src: i32, tag: i32, comm: u32) -> Option<ReplayEntry> {
-        let idx = self
-            .entries
-            .iter()
-            .position(|e| e.sig.matches_p2p(src, tag, comm))?;
+        let idx = self.entries.iter().position(|e| e.sig.matches_p2p(src, tag, comm))?;
         self.entries.remove(idx)
     }
 

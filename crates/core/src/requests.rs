@@ -291,7 +291,10 @@ impl C3ReqTable {
     ///
     /// Returns the pre-line entries that need their receives re-posted
     /// (not completed by a late message), in ascending id order.
-    pub fn load(d: &mut Decoder<'_>, line_epoch: u64) -> Result<(Self, Vec<(u64, SavedReqMeta)>), CodecError> {
+    pub fn load(
+        d: &mut Decoder<'_>,
+        line_epoch: u64,
+    ) -> Result<(Self, Vec<(u64, SavedReqMeta)>), CodecError> {
         let line_next = d.u64()?;
         let n = d.u64()? as usize;
         let mut table = C3ReqTable { next: line_next, ..Default::default() };

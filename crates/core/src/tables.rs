@@ -164,7 +164,11 @@ impl HandleTables {
     /// Create a datatype: commits it in the substrate and records the
     /// recipe. Children must be alive (not user-freed) in this table or be
     /// basic types.
-    pub fn create_datatype(&mut self, mpi: &mut RankCtx, recipe: DtRecipe) -> Result<DatatypeHandle, MpiError> {
+    pub fn create_datatype(
+        &mut self,
+        mpi: &mut RankCtx,
+        recipe: DtRecipe,
+    ) -> Result<DatatypeHandle, MpiError> {
         for c in recipe.children() {
             if c >= 6 {
                 match self.dts.get(&c) {
@@ -294,9 +298,8 @@ mod tests {
     fn create_free_and_hierarchy_retention() {
         launch(&JobSpec::new(1), |mpi| {
             let mut t = HandleTables::new();
-            let inner = t
-                .create_datatype(mpi, DtRecipe::Contiguous { count: 4, child: DT_F64.0 })
-                .unwrap();
+            let inner =
+                t.create_datatype(mpi, DtRecipe::Contiguous { count: 4, child: DT_F64.0 }).unwrap();
             let outer = t
                 .create_datatype(
                     mpi,
@@ -325,14 +328,10 @@ mod tests {
     fn cannot_build_on_freed_child() {
         launch(&JobSpec::new(1), |mpi| {
             let mut t = HandleTables::new();
-            let inner = t
-                .create_datatype(mpi, DtRecipe::Contiguous { count: 2, child: DT_F64.0 })
-                .unwrap();
+            let inner =
+                t.create_datatype(mpi, DtRecipe::Contiguous { count: 2, child: DT_F64.0 }).unwrap();
             t.free_datatype(mpi, inner).unwrap();
-            let err = t.create_datatype(
-                mpi,
-                DtRecipe::Contiguous { count: 2, child: inner.0 },
-            );
+            let err = t.create_datatype(mpi, DtRecipe::Contiguous { count: 2, child: inner.0 });
             assert!(err.is_err());
             Ok(())
         })
@@ -349,9 +348,8 @@ mod tests {
         );
         launch(&JobSpec::new(1), |mpi| {
             let mut t = HandleTables::new();
-            let inner = t
-                .create_datatype(mpi, DtRecipe::Contiguous { count: 4, child: DT_F64.0 })
-                .unwrap();
+            let inner =
+                t.create_datatype(mpi, DtRecipe::Contiguous { count: 4, child: DT_F64.0 }).unwrap();
             let outer = t
                 .create_datatype(
                     mpi,

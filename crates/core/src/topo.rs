@@ -110,11 +110,7 @@ impl<'a> C3Ctx<'a> {
             .ok_or_else(|| C3Error::Protocol("cart_create caller must be a member".into()))?;
         let color = if my_local < grid { Some(0) } else { None };
         let sub = self.comm_split(parent, color, my_local as i64)?;
-        Ok(sub.map(|comm| CartTopo {
-            comm,
-            dims: dims.to_vec(),
-            periodic: periodic.to_vec(),
-        }))
+        Ok(sub.map(|comm| CartTopo { comm, dims: dims.to_vec(), periodic: periodic.to_vec() }))
     }
 }
 

@@ -102,9 +102,8 @@ fn ring_no_checkpoints_matches_plain() {
 #[test]
 fn ring_survives_failure_after_commit() {
     let st_ring_base_3 = tmp_store("ring-base");
-    let baseline = Job::new(4, C3Config::passive(st_ring_base_3.path()))
-        .run(|ctx| ring_app(ctx, 12))
-        .unwrap();
+    let baseline =
+        Job::new(4, C3Config::passive(st_ring_base_3.path())).run(|ctx| ring_app(ctx, 12)).unwrap();
 
     let st_ring_fail_4 = tmp_store("ring-fail");
     let cfg = C3Config::at_pragmas(st_ring_fail_4.path(), vec![9]);
@@ -117,9 +116,8 @@ fn ring_survives_failure_after_commit() {
 #[test]
 fn ring_failure_before_any_commit_restarts_from_scratch() {
     let st_ring_base2_5 = tmp_store("ring-base2");
-    let baseline = Job::new(3, C3Config::passive(st_ring_base2_5.path()))
-        .run(|ctx| ring_app(ctx, 6))
-        .unwrap();
+    let baseline =
+        Job::new(3, C3Config::passive(st_ring_base2_5.path())).run(|ctx| ring_app(ctx, 6)).unwrap();
     // Never checkpoint; fail mid-run: recovery = full restart.
     let st_ring_nockpt_6 = tmp_store("ring-nockpt");
     let cfg = C3Config::passive(st_ring_nockpt_6.path());
@@ -152,11 +150,12 @@ fn cross_line_stats_show_late_and_early() {
     // the cross app (not that it merely survived).
     let st_cross_stats_9 = tmp_store("cross-stats");
     let cfg = C3Config::at_pragmas(st_cross_stats_9.path(), vec![3]);
-    let out = Job::new(2, cfg).run(|ctx| {
-        let r = cross_app(ctx, 8)?;
-        Ok((r, ctx.stats().late_logged, ctx.stats().early_recorded))
-    })
-    .unwrap();
+    let out = Job::new(2, cfg)
+        .run(|ctx| {
+            let r = cross_app(ctx, 8)?;
+            Ok((r, ctx.stats().late_logged, ctx.stats().early_recorded))
+        })
+        .unwrap();
     let total_late: u64 = out.results.iter().map(|(_, l, _)| *l).sum();
     let total_early: u64 = out.results.iter().map(|(_, _, e)| *e).sum();
     assert!(total_late >= 1, "expected at least one late message, got {total_late}");
@@ -332,12 +331,9 @@ fn reduce_and_scan_survive_failure() {
         while st.iter < 6 {
             ctx.pragma(|e| st.save(e))?;
             let x = (st.iter + 1) * (me as u64 + 1);
-            if let Some(r) = ctx.reduce(
-                0,
-                &x.to_le_bytes(),
-                mpisim::BasicType::U64,
-                &mpisim::ReduceOp::Sum,
-            )? {
+            if let Some(r) =
+                ctx.reduce(0, &x.to_le_bytes(), mpisim::BasicType::U64, &mpisim::ReduceOp::Sum)?
+            {
                 st.absorb(u64::from_le_bytes(r[..8].try_into().unwrap()));
             }
             let s = ctx.scan(&x.to_le_bytes(), mpisim::BasicType::U64, &mpisim::ReduceOp::Sum)?;
@@ -361,29 +357,31 @@ fn heap_and_vars_restored() {
     let st_heapvars_17 = tmp_store("heapvars");
     let cfg = C3Config::at_pragmas(st_heapvars_17.path(), vec![2]);
     let plan = FailurePlan { rank: 0, when: FailAt::AfterCommits { commits: 1, pragma: 4 } };
-    let rec = Job::new(2, cfg).failure(plan).run(|ctx| {
-        let mut st = LoopState::restore_or_new(ctx)?;
-        // Heap object created once at the start, mutated every iteration.
-        let obj = if st.iter == 0 && ctx.heap.live_objects() == 0 {
-            ctx.heap.alloc_init(vec![0u8; 8])
-        } else {
-            statesave::ObjId(0)
-        };
-        let me = ctx.rank();
-        while st.iter < 6 {
-            ctx.pragma(|e| st.save(e))?;
-            let cur = u64::from_le_bytes(ctx.heap.get(obj).unwrap().try_into().unwrap());
-            let next = cur.wrapping_add(st.iter + me as u64 + 1);
-            ctx.heap.get_mut(obj).unwrap().copy_from_slice(&next.to_le_bytes());
-            ctx.vars.register("iter", statesave::TypeCode::I64, st.iter.to_le_bytes().to_vec());
-            let other = ctx.allreduce_u64(next, &mpisim::ReduceOp::Sum)?;
-            st.absorb(other);
-            st.iter += 1;
-        }
-        let final_heap = u64::from_le_bytes(ctx.heap.get(obj).unwrap().try_into().unwrap());
-        Ok((st.checksum, final_heap))
-    })
-    .unwrap();
+    let rec = Job::new(2, cfg)
+        .failure(plan)
+        .run(|ctx| {
+            let mut st = LoopState::restore_or_new(ctx)?;
+            // Heap object created once at the start, mutated every iteration.
+            let obj = if st.iter == 0 && ctx.heap.live_objects() == 0 {
+                ctx.heap.alloc_init(vec![0u8; 8])
+            } else {
+                statesave::ObjId(0)
+            };
+            let me = ctx.rank();
+            while st.iter < 6 {
+                ctx.pragma(|e| st.save(e))?;
+                let cur = u64::from_le_bytes(ctx.heap.get(obj).unwrap().try_into().unwrap());
+                let next = cur.wrapping_add(st.iter + me as u64 + 1);
+                ctx.heap.get_mut(obj).unwrap().copy_from_slice(&next.to_le_bytes());
+                ctx.vars.register("iter", statesave::TypeCode::I64, st.iter.to_le_bytes().to_vec());
+                let other = ctx.allreduce_u64(next, &mpisim::ReduceOp::Sum)?;
+                st.absorb(other);
+                st.iter += 1;
+            }
+            let final_heap = u64::from_le_bytes(ctx.heap.get(obj).unwrap().try_into().unwrap());
+            Ok((st.checksum, final_heap))
+        })
+        .unwrap();
     assert_eq!(rec.restarts, 1);
     // Both ranks agree, and the heap evolved deterministically: sum over
     // iters of (iter + me + 1).
@@ -397,9 +395,8 @@ fn heap_and_vars_restored() {
 #[test]
 fn two_checkpoints_recover_from_latest() {
     let st_two_base_18 = tmp_store("two-base");
-    let baseline = Job::new(3, C3Config::passive(st_two_base_18.path()))
-        .run(|ctx| ring_app(ctx, 14))
-        .unwrap();
+    let baseline =
+        Job::new(3, C3Config::passive(st_two_base_18.path())).run(|ctx| ring_app(ctx, 14)).unwrap();
     let st_two_fail_19 = tmp_store("two-fail");
     let cfg = C3Config::at_pragmas(st_two_fail_19.path(), vec![5, 15]);
     let plan = FailurePlan { rank: 1, when: FailAt::AfterCommits { commits: 2, pragma: 20 } };
@@ -544,10 +541,7 @@ fn virtual_time_timer_trace_is_bit_for_bit_reproducible() {
     };
     let a = run("vtimer-a");
     let b = run("vtimer-b");
-    assert_eq!(
-        a.results, b.results,
-        "virtual-time timer trace diverged across identical runs"
-    );
+    assert_eq!(a.results, b.results, "virtual-time timer trace diverged across identical runs");
     assert!(a.results[0].1 >= 2, "1ms virtual timer fired fewer than 2 rounds over 24 holds");
     assert!(
         a.results.iter().all(|(_, commits, ns)| *commits == 0 || *ns > 0),

@@ -109,7 +109,13 @@ impl RankCtx {
 
     /// Broadcast `data` from `root`. Binomial tree; the root's piggyback
     /// byte travels with the payload and is returned to every receiver.
-    pub fn bcast(&mut self, comm: CommId, root: Rank, data: &mut Vec<u8>, my_pig: u8) -> Result<u8> {
+    pub fn bcast(
+        &mut self,
+        comm: CommId,
+        root: Rank,
+        data: &mut Vec<u8>,
+        my_pig: u8,
+    ) -> Result<u8> {
         let n = self.nranks();
         let me = self.rank();
         let tag = self.coll_tag(comm)?;
@@ -200,7 +206,8 @@ impl RankCtx {
         let tag = self.coll_tag(comm)?;
         let shadow = comm.collective_shadow();
         if me == root {
-            let parts = parts.ok_or_else(|| MpiError::InvalidArg("root must supply parts".into()))?;
+            let parts =
+                parts.ok_or_else(|| MpiError::InvalidArg("root must supply parts".into()))?;
             if parts.len() != n {
                 return Err(MpiError::InvalidArg(format!(
                     "scatter needs {n} parts, got {}",
@@ -221,7 +228,12 @@ impl RankCtx {
 
     /// All-gather: every rank receives every rank's buffer, with piggyback
     /// bytes for all logical streams. Implemented as gather-at-0 + bcast.
-    pub fn allgather(&mut self, comm: CommId, mine: &[u8], my_pig: u8) -> Result<Vec<(CollPig, Vec<u8>)>> {
+    pub fn allgather(
+        &mut self,
+        comm: CommId,
+        mine: &[u8],
+        my_pig: u8,
+    ) -> Result<Vec<(CollPig, Vec<u8>)>> {
         let gathered = self.gather(comm, 0, mine, my_pig)?;
         let mut bundle = match gathered {
             Some(items) => encode_streams(&items),
@@ -241,11 +253,19 @@ impl RankCtx {
 
     /// All-to-all personalized exchange: `parts[i]` goes to rank `i`; the
     /// result is indexed by source rank. Subsumes `MPI_Alltoallv`.
-    pub fn alltoall(&mut self, comm: CommId, parts: &[Vec<u8>], my_pig: u8) -> Result<Vec<(CollPig, Vec<u8>)>> {
+    pub fn alltoall(
+        &mut self,
+        comm: CommId,
+        parts: &[Vec<u8>],
+        my_pig: u8,
+    ) -> Result<Vec<(CollPig, Vec<u8>)>> {
         let n = self.nranks();
         let me = self.rank();
         if parts.len() != n {
-            return Err(MpiError::InvalidArg(format!("alltoall needs {n} parts, got {}", parts.len())));
+            return Err(MpiError::InvalidArg(format!(
+                "alltoall needs {n} parts, got {}",
+                parts.len()
+            )));
         }
         let tag = self.coll_tag(comm)?;
         let shadow = comm.collective_shadow();

@@ -205,6 +205,9 @@ impl RankCtx {
         self.vclock += self.net.cluster().send_overhead_ns;
         let seq = self.send_seq[dst];
         self.send_seq[dst] += 1;
+        // Under a bounded mailbox this may park the rank until `dst` drains
+        // a slot (standard-mode send semantics with finite buffering); it
+        // returns `Aborted` if the job is poisoned while parked.
         self.net.send(Envelope {
             src: self.rank,
             dst,
@@ -214,8 +217,7 @@ impl RankCtx {
             piggyback,
             depart_vt: self.vclock,
             payload,
-        });
-        Ok(())
+        })
     }
 
     /// Send a typed slice on the world communicator (piggyback 0).
@@ -292,7 +294,12 @@ impl RankCtx {
 
     /// Non-blocking claim: receive a matching message only if one has
     /// already arrived.
-    pub fn try_recv_bytes(&mut self, src: i32, tag: Tag, comm: CommId) -> Result<Option<(Vec<u8>, Status)>> {
+    pub fn try_recv_bytes(
+        &mut self,
+        src: i32,
+        tag: Tag,
+        comm: CommId,
+    ) -> Result<Option<(Vec<u8>, Status)>> {
         self.check_abort()?;
         // Pending posted receives have matching priority; do not steal from
         // them. Progress first so they claim what is theirs.
@@ -313,7 +320,12 @@ impl RankCtx {
     }
 
     /// Non-destructive probe for a matching message: `(src, tag, bytes)`.
-    pub fn iprobe(&mut self, src: i32, tag: Tag, comm: CommId) -> Result<Option<(Rank, Tag, usize)>> {
+    pub fn iprobe(
+        &mut self,
+        src: i32,
+        tag: Tag,
+        comm: CommId,
+    ) -> Result<Option<(Rank, Tag, usize)>> {
         self.check_abort()?;
         self.net.nudge(self.rank);
         Ok(self.net.mailbox(self.rank).probe(src, tag, comm))
@@ -603,7 +615,10 @@ mod tests {
     #[test]
     fn contiguous_datatype_send_skips_pack() {
         let (mut tx, mut rx) = pair();
-        let c = tx.types.commit(crate::Datatype::Contiguous { count: 4, child: crate::DT_F64 }).unwrap();
+        let c = tx
+            .types
+            .commit(crate::Datatype::Contiguous { count: 4, child: crate::DT_F64 })
+            .unwrap();
         assert_eq!(tx.types.identity_span(c).unwrap(), Some(32));
         let data: Vec<f64> = (0..8).map(|x| x as f64).collect();
         tx.send_dt(1, 2, COMM_WORLD, 0, pod::bytes_of(&data), 2, c).unwrap();
@@ -612,7 +627,12 @@ mod tests {
         // A strided (non-identity) type still packs correctly.
         let v = tx
             .types
-            .commit(crate::Datatype::Vector { count: 2, blocklen: 1, stride: 2, child: crate::DT_F64 })
+            .commit(crate::Datatype::Vector {
+                count: 2,
+                blocklen: 1,
+                stride: 2,
+                child: crate::DT_F64,
+            })
             .unwrap();
         assert_eq!(tx.types.identity_span(v).unwrap(), None);
         tx.send_dt(1, 2, COMM_WORLD, 0, pod::bytes_of(&data), 1, v).unwrap();

@@ -291,9 +291,7 @@ impl TypeTable {
             }
             Datatype::Vector { count, blocklen, stride, child } => {
                 match self.identity_span_inner(*child)? {
-                    Some(s) if *count <= 1 || *stride == *blocklen => {
-                        Some(count * blocklen * s)
-                    }
+                    Some(s) if *count <= 1 || *stride == *blocklen => Some(count * blocklen * s),
                     _ => None,
                 }
             }
@@ -341,7 +339,13 @@ impl TypeTable {
         Ok(out)
     }
 
-    fn pack_one(&self, buf: &[u8], base: usize, h: DatatypeHandle, out: &mut Vec<u8>) -> Result<()> {
+    fn pack_one(
+        &self,
+        buf: &[u8],
+        base: usize,
+        h: DatatypeHandle,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
         match self.get_internal(h)?.clone() {
             Datatype::Basic(b) => {
                 let end = base + b.size();
@@ -386,7 +390,13 @@ impl TypeTable {
 
     /// Scatter a dense byte string produced by [`TypeTable::pack`] back into
     /// a typed buffer.
-    pub fn unpack(&self, packed: &[u8], buf: &mut [u8], count: usize, h: DatatypeHandle) -> Result<()> {
+    pub fn unpack(
+        &self,
+        packed: &[u8],
+        buf: &mut [u8],
+        count: usize,
+        h: DatatypeHandle,
+    ) -> Result<()> {
         self.get(h)?;
         let need = count * self.type_size(h)?;
         if packed.len() != need {
@@ -482,9 +492,8 @@ mod tests {
         let mut t = TypeTable::new();
         // A 4x4 row-major matrix of f64; a "column" type: 4 blocks of 1
         // element with stride 4.
-        let col = t
-            .commit(Datatype::Vector { count: 4, blocklen: 1, stride: 4, child: DT_F64 })
-            .unwrap();
+        let col =
+            t.commit(Datatype::Vector { count: 4, blocklen: 1, stride: 4, child: DT_F64 }).unwrap();
         let m: Vec<f64> = (0..16).map(|x| x as f64).collect();
         let packed = t.pack(crate::pod::bytes_of(&m), 1, col).unwrap();
         let col_vals: Vec<f64> = crate::pod::vec_from_bytes(&packed);
@@ -504,9 +513,8 @@ mod tests {
     #[test]
     fn indexed_blocks() {
         let mut t = TypeTable::new();
-        let ix = t
-            .commit(Datatype::Indexed { blocks: vec![(0, 2), (5, 1)], child: DT_I32 })
-            .unwrap();
+        let ix =
+            t.commit(Datatype::Indexed { blocks: vec![(0, 2), (5, 1)], child: DT_I32 }).unwrap();
         assert_eq!(t.type_size(ix).unwrap(), 12);
         assert_eq!(t.type_extent(ix).unwrap(), 24);
         let data = [10i32, 11, 12, 13, 14, 15];

@@ -54,11 +54,11 @@ pub use envelope::{Envelope, Signature};
 pub use error::MpiError;
 pub use mailbox::{Mailbox, MailboxGuard};
 pub use network::{ClusterModel, NetModel, Network, ReorderModel};
-pub use payload::{BufferPool, Lease, Payload};
 pub use op::{
     apply_op, lookup_named_op, register_named_op, OpHandle, OpTable, ReduceOp, UserOpFn, OP_MAX,
     OP_MIN, OP_PROD, OP_SUM,
 };
+pub use payload::{BufferPool, Lease, Payload};
 pub use pod::{bytes_of, bytes_of_mut, copy_to_slice, vec_from_bytes, Pod};
 pub use request::{ReqId, Status};
 pub use world::{launch, JobError, JobHandle, JobSpec};
@@ -71,6 +71,13 @@ pub type Rank = usize;
 /// recovery driver distinguishes injected fail-stops from genuine errors by
 /// this marker, never by exit codes or timing.
 pub const INJECTED_FAULT_MARKER: &str = "injected fail-stop";
+
+/// Prefix of the poison reason produced when the bounded-mailbox watchdog
+/// proves a send cycle among parked ranks (`NetModel::mailbox_capacity`):
+/// every rank in the cycle is blocked sending to the next rank's full
+/// mailbox, so no mailbox can ever drain. The job is poisoned with a
+/// diagnosable reason instead of hanging.
+pub const BACKPRESSURE_DEADLOCK_MARKER: &str = "BACKPRESSURE_DEADLOCK";
 
 /// A message tag. Non-negative in applications; negative values are reserved
 /// for wildcards and internal use.

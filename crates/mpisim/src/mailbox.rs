@@ -20,10 +20,12 @@
 //! MPI's matching rules.
 
 use crate::envelope::{Envelope, Signature};
+use crate::network::Backpressure;
 use crate::{CommId, Rank, Tag, ANY_SOURCE, ANY_TAG};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 #[derive(Debug)]
@@ -108,16 +110,44 @@ impl Shelves {
 }
 
 /// A rank's incoming-message queue.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Mailbox {
     inner: Mutex<Shelves>,
     cv: Condvar,
+    /// Under bounded-mailbox backpressure: the job's credit ledger and this
+    /// mailbox's rank, so claiming an application envelope returns its
+    /// delivery credit and wakes parked senders.
+    credit: Option<(Arc<Backpressure>, Rank)>,
+}
+
+impl std::fmt::Debug for Mailbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("inner", &self.inner)
+            .field("bounded", &self.credit.is_some())
+            .finish()
+    }
 }
 
 impl Mailbox {
     /// Create an empty mailbox.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty bounded mailbox owned by `rank`, wired to the job's
+    /// credit ledger.
+    pub(crate) fn with_credit(bp: Arc<Backpressure>, rank: Rank) -> Self {
+        Mailbox { credit: Some((bp, rank)), ..Self::default() }
+    }
+
+    /// Return the delivery credit of a claimed application envelope.
+    fn release_credit(&self, env: &Envelope) {
+        if let Some((bp, rank)) = &self.credit {
+            if !env.comm.is_internal() {
+                bp.release(*rank);
+            }
+        }
     }
 
     /// Deliver an envelope (called by the network from any thread).
@@ -129,7 +159,9 @@ impl Mailbox {
 
     /// Claim the first arrived envelope matching `(src, tag, comm)`, if any.
     pub fn try_claim(&self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
-        self.inner.lock().claim(src, tag, comm)
+        let env = self.inner.lock().claim(src, tag, comm)?;
+        self.release_credit(&env);
+        Some(env)
     }
 
     /// Peek (do not claim) the first arrived envelope matching
@@ -143,7 +175,7 @@ impl Mailbox {
     /// request engine to perform posted-order matching of multiple pending
     /// receives atomically with respect to concurrent deliveries.
     pub fn lock(&self) -> MailboxGuard<'_> {
-        MailboxGuard { inner: self.inner.lock() }
+        MailboxGuard { inner: self.inner.lock(), owner: self }
     }
 
     /// Block until the mailbox might have changed, or `timeout` elapses.
@@ -184,12 +216,18 @@ impl Mailbox {
 /// Exclusive access to a locked mailbox (see [`Mailbox::lock`]).
 pub struct MailboxGuard<'a> {
     inner: MutexGuard<'a, Shelves>,
+    owner: &'a Mailbox,
 }
 
 impl MailboxGuard<'_> {
     /// Claim the earliest-arrived matching envelope under the held lock.
+    /// Under backpressure the claimed envelope's delivery credit is
+    /// returned immediately (lock order mailbox → ledger is the only
+    /// nesting of the two).
     pub fn claim(&mut self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
-        self.inner.claim(src, tag, comm)
+        let env = self.inner.claim(src, tag, comm)?;
+        self.owner.release_credit(&env);
+        Some(env)
     }
 
     /// Number of queued envelopes.

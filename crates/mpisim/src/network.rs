@@ -1,15 +1,53 @@
-//! The shared network: delivery, cluster timing models, reordering, and
-//! job poisoning (fail-stop propagation).
+//! The shared network: delivery, cluster timing models, reordering,
+//! bounded-mailbox backpressure, and job poisoning (fail-stop propagation).
 
 use crate::envelope::Envelope;
+use crate::error::MpiError;
 use crate::mailbox::Mailbox;
 use crate::payload::BufferPool;
 use crate::Rank;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a parked sender sleeps between credit re-checks. Bounds the
+/// latency of poison detection and deadlock discovery while parked.
+const PARK_POLL: Duration = Duration::from_micros(200);
+
+/// How long a parked sender tolerates **zero network progress** (no
+/// delivery, no claim, no credit grant anywhere in the job) before
+/// declaring the job wedged. The send-cycle walk proves the common
+/// deadlock shape exactly, but a bounded buffer can also wedge a program
+/// with no cycle at all — e.g. a rank blocked in a receive whose matching
+/// message is parked behind a mailbox full of messages it is not
+/// receiving. Those shapes are undecidable from the wait-for graph alone
+/// (wildcard receives), so the fallback is observational: while anyone is
+/// parked, *some* envelope must move within this window or the job is
+/// poisoned with a diagnosable reason instead of hanging CI forever.
+///
+/// The default (5 s) assumes compute phases far shorter than the window,
+/// which holds for every workload in this repo; a job whose receivers
+/// legitimately compute for longer while a sender is parked can widen it
+/// via `C3_BACKPRESSURE_STALL_SECS` (a ROADMAP item tracks replacing the
+/// wall-clock window with a virtual-time one).
+const PARK_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The stall window, honoring the `C3_BACKPRESSURE_STALL_SECS` override
+/// (read once per process).
+fn park_stall_timeout() -> Duration {
+    static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    Duration::from_secs(*SECS.get_or_init(|| {
+        std::env::var("C3_BACKPRESSURE_STALL_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|s| *s > 0)
+            .unwrap_or(PARK_STALL_TIMEOUT.as_secs())
+    }))
+}
 
 /// Virtual-time cost model of an interconnect, in the style of the paper's
 /// evaluation platforms (§6). Costs feed the per-rank virtual clocks, not
@@ -31,12 +69,22 @@ pub struct ClusterModel {
 impl ClusterModel {
     /// Lemieux (PSC): Alphaserver ES45 nodes, Quadrics interconnect.
     pub fn lemieux() -> Self {
-        ClusterModel { name: "Lemieux", latency_ns: 5_000, bytes_per_us: 250, send_overhead_ns: 900 }
+        ClusterModel {
+            name: "Lemieux",
+            latency_ns: 5_000,
+            bytes_per_us: 250,
+            send_overhead_ns: 900,
+        }
     }
 
     /// Velocity 2 (CTC): Pentium 4 Xeon nodes, Force10 Gigabit Ethernet.
     pub fn velocity2() -> Self {
-        ClusterModel { name: "Velocity2", latency_ns: 60_000, bytes_per_us: 100, send_overhead_ns: 4_000 }
+        ClusterModel {
+            name: "Velocity2",
+            latency_ns: 60_000,
+            bytes_per_us: 100,
+            send_overhead_ns: 4_000,
+        }
     }
 
     /// CMI (CTC): Pentium 3 nodes, Giganet switch.
@@ -109,12 +157,28 @@ pub struct NetModel {
     pub dup_permille: u32,
     /// Seed for the reordering RNG and the drop/duplication fate hash.
     pub seed: u64,
+    /// Per-destination mailbox capacity for **application** traffic
+    /// (bounded-buffer backpressure). `None` models MPI's idealized
+    /// unbounded buffered send; `Some(c)` admits at most `c` unclaimed
+    /// application messages per destination — further senders park on a
+    /// FIFO credit waitlist until the receiver drains a slot. Internal
+    /// traffic (collective shadow communicators, the control plane) is
+    /// library traffic with its own progress guarantee and bypasses the
+    /// bound. A send cycle among parked ranks poisons the job with a
+    /// [`crate::BACKPRESSURE_DEADLOCK_MARKER`] reason instead of hanging.
+    pub mailbox_capacity: Option<usize>,
 }
 
 impl NetModel {
     /// A reliable, in-order network (the default).
     pub fn reliable() -> Self {
-        NetModel { reorder: ReorderModel::None, drop_permille: 0, dup_permille: 0, seed: 1 }
+        NetModel {
+            reorder: ReorderModel::None,
+            drop_permille: 0,
+            dup_permille: 0,
+            seed: 1,
+            mailbox_capacity: None,
+        }
     }
 
     /// Seeded random cross-signature reordering with the standard parameters
@@ -125,6 +189,7 @@ impl NetModel {
             drop_permille: 0,
             dup_permille: 0,
             seed,
+            mailbox_capacity: None,
         }
     }
 
@@ -149,6 +214,19 @@ impl NetModel {
     /// Set the seed for reordering and fault fate.
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    /// Bound every destination mailbox to `cap` unclaimed application
+    /// messages (see the field docs; `cap` is clamped to at least 1).
+    pub fn mailbox_capacity(mut self, cap: usize) -> Self {
+        self.mailbox_capacity = Some(cap.max(1));
+        self
+    }
+
+    /// Remove the mailbox bound (back to idealized buffered sends).
+    pub fn unbounded(mut self) -> Self {
+        self.mailbox_capacity = None;
         self
     }
 
@@ -227,6 +305,99 @@ struct FaultState {
     ticks: u64,
 }
 
+/// Credit-based flow control for bounded mailboxes (one per job).
+///
+/// All state lives under **one** mutex: per-destination outstanding-credit
+/// counts, the FIFO queues of parked sender tickets, the park table the
+/// deadlock walk reads, and the set of finished ranks. A single lock is
+/// deliberate — the cycle check sees an exact snapshot (a rank can never
+/// appear parked while it has in fact been granted a credit), which is what
+/// makes a `BACKPRESSURE_DEADLOCK` verdict free of false positives. The
+/// job's rank count is tiny, so contention is irrelevant next to delivery.
+///
+/// Invariants:
+/// * `outstanding[d]` counts application envelopes granted a credit toward
+///   destination `d` and not yet claimed by `d` (queued in the mailbox *or*
+///   withheld in the fault/reorder stages — in-flight buffer space either
+///   way).
+/// * A credit is released exactly once, when the owning rank claims the
+///   envelope from its mailbox ([`Backpressure::release`]).
+/// * Parked senders are granted credits strictly in ticket (FIFO) order,
+///   so wake order — and therefore delivery order — is reproducible.
+/// * `done[d]` marks a rank whose application function has returned; sends
+///   to it complete without credits (nothing will ever drain that mailbox
+///   again, and unbounded fire-and-forget sends at job end must keep
+///   working identically).
+pub(crate) struct Backpressure {
+    capacity: usize,
+    state: Mutex<BpState>,
+    cv: Condvar,
+    /// Bumped on every delivery, claim, and credit grant in the job; a
+    /// parked sender watching this stand still for [`PARK_STALL_TIMEOUT`]
+    /// has proof the job is wedged (see the constant's docs).
+    progress: AtomicU64,
+}
+
+struct BpState {
+    outstanding: Vec<usize>,
+    /// Per-destination FIFO of parked sender tickets.
+    queues: Vec<VecDeque<u64>>,
+    next_ticket: u64,
+    /// `parked_on[r] = Some(d)` while rank `r` is parked sending to `d`.
+    parked_on: Vec<Option<Rank>>,
+    done: Vec<bool>,
+}
+
+impl Backpressure {
+    fn new(nranks: usize, capacity: usize) -> Self {
+        Backpressure {
+            capacity: capacity.max(1),
+            state: Mutex::new(BpState {
+                outstanding: vec![0; nranks],
+                queues: (0..nranks).map(|_| VecDeque::new()).collect(),
+                next_ticket: 0,
+                parked_on: vec![None; nranks],
+                done: vec![false; nranks],
+            }),
+            cv: Condvar::new(),
+            progress: AtomicU64::new(0),
+        }
+    }
+
+    /// Return the credit held by a claimed application envelope and wake
+    /// parked senders so the freed slot is granted in FIFO order.
+    pub(crate) fn release(&self, dst: Rank) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        st.outstanding[dst] = st.outstanding[dst].saturating_sub(1);
+        if !st.queues[dst].is_empty() {
+            self.cv.notify_all();
+        }
+    }
+
+    /// A wait-for cycle through `start`'s park chain, if one exists in this
+    /// snapshot. Every member must be parked on a destination that is at
+    /// capacity and not finished; such a cycle can never drain (credits are
+    /// only released by the owner claiming, and every owner in the cycle is
+    /// blocked in a send), so it is a genuine deadlock, not a stall.
+    fn find_cycle(st: &BpState, start: Rank, capacity: usize) -> Option<Vec<Rank>> {
+        let mut chain = vec![start];
+        let mut cur = start;
+        loop {
+            let dst = st.parked_on[cur]?;
+            if st.outstanding[dst] < capacity || st.done[dst] {
+                // That destination will grant a credit shortly; no cycle.
+                return None;
+            }
+            if let Some(pos) = chain.iter().position(|r| *r == dst) {
+                return Some(chain.split_off(pos));
+            }
+            chain.push(dst);
+            cur = dst;
+        }
+    }
+}
+
 /// SplitMix64 finalizer: the avalanche mixer behind the fate hash.
 #[inline]
 fn mix64(mut x: u64) -> u64 {
@@ -247,6 +418,8 @@ pub struct Network {
     /// lock, acquired strictly after `fault_state`/`reorder_state`, because
     /// final delivery runs nested inside both stages.
     dedup_state: Vec<Mutex<Vec<DedupWindow>>>,
+    /// Bounded-mailbox flow control (`NetModel::mailbox_capacity`).
+    backpressure: Option<Arc<Backpressure>>,
     poisoned: AtomicBool,
     poison_reason: Mutex<Option<String>>,
     /// The world's shared send-buffer pool (see [`BufferPool`]).
@@ -261,6 +434,9 @@ pub struct Network {
     pub msgs_duplicated: AtomicU64,
     /// Duplicate copies suppressed at the receive side.
     pub dups_suppressed: AtomicU64,
+    /// Sends that parked on the credit waitlist (backpressure actually
+    /// engaged, not merely enabled).
+    pub sends_parked: AtomicU64,
 }
 
 impl Network {
@@ -272,9 +448,9 @@ impl Network {
                     held: Vec::new(),
                     rng: match model.reorder {
                         ReorderModel::None => None,
-                        ReorderModel::Random { .. } => {
-                            Some(SmallRng::seed_from_u64(model.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(dst as u64 + 1))))
-                        }
+                        ReorderModel::Random { .. } => Some(SmallRng::seed_from_u64(
+                            model.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(dst as u64 + 1)),
+                        )),
                     },
                 })
             })
@@ -283,13 +459,21 @@ impl Network {
         let dedup_state = (0..nranks)
             .map(|_| Mutex::new((0..nranks).map(|_| DedupWindow::default()).collect()))
             .collect();
+        let backpressure =
+            model.mailbox_capacity.map(|cap| Arc::new(Backpressure::new(nranks, cap)));
         Network {
-            mailboxes: (0..nranks).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..nranks)
+                .map(|dst| match &backpressure {
+                    Some(bp) => Mailbox::with_credit(Arc::clone(bp), dst),
+                    None => Mailbox::new(),
+                })
+                .collect(),
             cluster,
             model,
             reorder_state,
             fault_state,
             dedup_state,
+            backpressure,
             poisoned: AtomicBool::new(false),
             poison_reason: Mutex::new(None),
             pool: BufferPool::new(),
@@ -298,6 +482,7 @@ impl Network {
             msgs_dropped: AtomicU64::new(0),
             msgs_duplicated: AtomicU64::new(0),
             dups_suppressed: AtomicU64::new(0),
+            sends_parked: AtomicU64::new(0),
         }
     }
 
@@ -326,9 +511,125 @@ impl Network {
         &self.pool
     }
 
-    /// Inject an envelope. Applies the drop/duplication fault model, then
-    /// the reordering model, then delivers to the destination mailbox.
-    pub fn send(&self, env: Envelope) {
+    /// Inject an envelope. Under a bounded mailbox
+    /// (`NetModel::mailbox_capacity`) this first acquires a delivery credit
+    /// for application traffic — parking the calling rank on the
+    /// destination's FIFO waitlist when the mailbox is full — then applies
+    /// the drop/duplication fault model, the reordering model, and delivers
+    /// to the destination mailbox. Returns `Err(MpiError::Aborted)` only if
+    /// the job was poisoned while the sender was parked.
+    pub fn send(&self, env: Envelope) -> Result<(), MpiError> {
+        if let Some(bp) = &self.backpressure {
+            if !env.comm.is_internal() {
+                self.acquire_credit(bp, env.src, env.dst)?;
+            }
+        }
+        self.inject(env);
+        Ok(())
+    }
+
+    /// Block until `dst` has a free application-message slot (credit-based
+    /// flow control; see [`Backpressure`]). FIFO: a parked sender is granted
+    /// the next freed slot strictly in park order.
+    fn acquire_credit(&self, bp: &Backpressure, src: Rank, dst: Rank) -> Result<(), MpiError> {
+        let mut st = bp.state.lock();
+        if st.done[dst] {
+            return Ok(());
+        }
+        if st.queues[dst].is_empty() && st.outstanding[dst] < bp.capacity {
+            st.outstanding[dst] += 1;
+            return Ok(());
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queues[dst].push_back(ticket);
+        st.parked_on[src] = Some(dst);
+        self.sends_parked.fetch_add(1, Ordering::Relaxed);
+        let mut last_progress = bp.progress.load(Ordering::Relaxed);
+        let mut stall_since = std::time::Instant::now();
+        loop {
+            if self.is_poisoned() {
+                st.parked_on[src] = None;
+                st.queues[dst].retain(|t| *t != ticket);
+                bp.cv.notify_all();
+                return Err(MpiError::Aborted);
+            }
+            if st.done[dst]
+                || (st.queues[dst].front() == Some(&ticket) && st.outstanding[dst] < bp.capacity)
+            {
+                st.parked_on[src] = None;
+                // Strict FIFO: a capacity grant only ever goes to the queue
+                // front; only the done-rank bypass can pull a mid-queue
+                // ticket.
+                if st.queues[dst].front() == Some(&ticket) {
+                    st.queues[dst].pop_front();
+                } else {
+                    st.queues[dst].retain(|t| *t != ticket);
+                }
+                if !st.done[dst] {
+                    st.outstanding[dst] += 1;
+                }
+                bp.progress.fetch_add(1, Ordering::Relaxed);
+                // The next parked ticket may now be at the front.
+                bp.cv.notify_all();
+                return Ok(());
+            }
+            let progress = bp.progress.load(Ordering::Relaxed);
+            if progress != last_progress {
+                last_progress = progress;
+                stall_since = std::time::Instant::now();
+            } else if stall_since.elapsed() >= park_stall_timeout() {
+                drop(st);
+                self.poison(&format!(
+                    "{}: rank {src} parked sending to rank {dst} while no message moved \
+                     anywhere in the job for {:?} — a receive is most likely blocked on a \
+                     message parked behind a full mailbox (no send cycle to prove); the \
+                     application (or protocol) relies on more buffering than mailbox \
+                     capacity {} provides (C3_BACKPRESSURE_STALL_SECS widens the window)",
+                    crate::BACKPRESSURE_DEADLOCK_MARKER,
+                    park_stall_timeout(),
+                    bp.capacity
+                ));
+                st = bp.state.lock();
+                continue;
+            }
+            if let Some(cycle) = Backpressure::find_cycle(&st, src, bp.capacity) {
+                let path = cycle
+                    .iter()
+                    .chain(cycle.first())
+                    .map(|r| format!("rank {r}"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                drop(st);
+                self.poison(&format!(
+                    "{}: send cycle {path} with every mailbox at capacity {} — \
+                     each rank is blocked sending to the next, so no mailbox can drain; \
+                     the application (or protocol) relies on more buffering than the \
+                     configured bound provides",
+                    crate::BACKPRESSURE_DEADLOCK_MARKER,
+                    bp.capacity
+                ));
+                st = bp.state.lock();
+                continue;
+            }
+            bp.cv.wait_for(&mut st, PARK_POLL);
+        }
+    }
+
+    /// Mark `rank`'s application function as returned: its mailbox will
+    /// never be drained again, so pending and future sends toward it
+    /// complete without credits (matching unbounded fire-and-forget
+    /// semantics during job wind-down).
+    pub fn rank_done(&self, rank: Rank) {
+        if let Some(bp) = &self.backpressure {
+            let mut st = bp.state.lock();
+            st.done[rank] = true;
+            bp.cv.notify_all();
+        }
+    }
+
+    /// Fault- and reorder-stage injection (after any credit acquisition).
+    fn inject(&self, env: Envelope) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
         if !self.model.has_faults() {
@@ -452,6 +753,9 @@ impl Network {
     /// Final delivery into the destination mailbox, suppressing duplicate
     /// copies by `(source, seq)` when the duplication fault is active.
     fn final_deliver(&self, env: Envelope) {
+        if let Some(bp) = &self.backpressure {
+            bp.progress.fetch_add(1, Ordering::Relaxed);
+        }
         if self.model.dup_permille > 0 {
             let mut windows = self.dedup_state[env.dst].lock();
             if windows[env.src].seen_before(env.seq) {
@@ -501,6 +805,10 @@ impl Network {
         for mb in &self.mailboxes {
             mb.interrupt();
         }
+        // Parked senders re-check the poison flag on wake.
+        if let Some(bp) = &self.backpressure {
+            bp.cv.notify_all();
+        }
     }
 
     /// Has the job been poisoned?
@@ -518,7 +826,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{COMM_WORLD, Tag};
+    use crate::{Tag, COMM_WORLD};
 
     fn env(src: Rank, dst: Rank, tag: Tag, seq: u64) -> Envelope {
         Envelope {
@@ -536,7 +844,7 @@ mod tests {
     #[test]
     fn plain_delivery() {
         let net = Network::new(2, ClusterModel::ideal(), NetModel::reliable());
-        net.send(env(0, 1, 3, 0));
+        net.send(env(0, 1, 3, 0)).unwrap();
         assert_eq!(net.mailbox(1).len(), 1);
         assert_eq!(net.mailbox(0).len(), 0);
     }
@@ -551,7 +859,7 @@ mod tests {
         );
         // Send 200 messages on the SAME signature; they must arrive in order.
         for seq in 0..200 {
-            net.send(env(0, 1, 7, seq));
+            net.send(env(0, 1, 7, seq)).unwrap();
         }
         net.flush_reorder();
         let mut last = None;
@@ -575,16 +883,11 @@ mod tests {
         // Alternate two signatures; with high hold probability some tag-1
         // message should arrive after a later-sent tag-2 message.
         for i in 0..100u64 {
-            net.send(env(0, 1, (i % 2) as Tag, i / 2));
+            net.send(env(0, 1, (i % 2) as Tag, i / 2)).unwrap();
         }
         net.flush_reorder();
-        let arrivals: Vec<(Tag, u64)> = net
-            .mailbox(1)
-            .lock()
-            .snapshot_arrival_order()
-            .iter()
-            .map(|e| (e.tag, e.seq))
-            .collect();
+        let arrivals: Vec<(Tag, u64)> =
+            net.mailbox(1).lock().snapshot_arrival_order().iter().map(|e| (e.tag, e.seq)).collect();
         assert_eq!(arrivals.len(), 100);
         // Detect at least one cross-signature inversion vs. global send
         // order (tag alternation means global order is (0,k),(1,k),(0,k+1)..).
@@ -595,13 +898,10 @@ mod tests {
 
     #[test]
     fn drop_faults_retransmit_and_preserve_per_signature_fifo() {
-        let net = Network::new(
-            2,
-            ClusterModel::ideal(),
-            NetModel::reliable().drop_rate(300).seed(11),
-        );
+        let net =
+            Network::new(2, ClusterModel::ideal(), NetModel::reliable().drop_rate(300).seed(11));
         for seq in 0..300 {
-            net.send(env(0, 1, 7, seq));
+            net.send(env(0, 1, 7, seq)).unwrap();
         }
         net.flush_reorder();
         assert!(
@@ -629,7 +929,7 @@ mod tests {
             NetModel::reliable().duplicate_rate(400).seed(3),
         );
         for seq in 0..200 {
-            net.send(env(0, 1, 9, seq));
+            net.send(env(0, 1, 9, seq)).unwrap();
         }
         net.flush_reorder();
         let dups = net.msgs_duplicated.load(Ordering::Relaxed);
@@ -649,12 +949,15 @@ mod tests {
     #[test]
     fn fault_fate_is_a_pure_function_of_seed_and_signature() {
         let drops = |seed: u64| {
-            let net =
-                Network::new(2, ClusterModel::ideal(), NetModel::reliable().drop_rate(250).seed(seed));
+            let net = Network::new(
+                2,
+                ClusterModel::ideal(),
+                NetModel::reliable().drop_rate(250).seed(seed),
+            );
             let mut dropped = Vec::new();
             for seq in 0..100 {
                 let before = net.msgs_dropped.load(Ordering::Relaxed);
-                net.send(env(0, 1, 5, seq));
+                net.send(env(0, 1, 5, seq)).unwrap();
                 if net.msgs_dropped.load(Ordering::Relaxed) > before {
                     dropped.push(seq);
                 }
@@ -675,7 +978,7 @@ mod tests {
         // Two interleaved signatures under drop + dup + reorder. As in the
         // real substrate, `seq` is unique per (src, dst) across tags.
         for i in 0..400u64 {
-            net.send(env(0, 1, (i % 2) as Tag, i));
+            net.send(env(0, 1, (i % 2) as Tag, i)).unwrap();
         }
         net.flush_reorder();
         let (mut last0, mut last1, mut n) = (None, None, 0);
@@ -699,6 +1002,116 @@ mod tests {
         net.poison("second reason ignored");
         assert!(net.is_poisoned());
         assert_eq!(net.poison_reason().unwrap(), "rank 0 killed by fault injector");
+    }
+
+    /// Claim with retry: bounded-mailbox tests race the sender thread.
+    fn claim_blocking(net: &Network, dst: Rank, src: Rank, tag: Tag) -> Envelope {
+        loop {
+            if let Some(e) = net.mailbox(dst).try_claim(src as i32, tag, COMM_WORLD) {
+                return e;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn bounded_mailbox_parks_senders_and_preserves_order() {
+        let net = Network::new(2, ClusterModel::ideal(), NetModel::reliable().mailbox_capacity(2));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for seq in 0..6 {
+                    net.send(env(0, 1, 7, seq)).unwrap();
+                }
+            });
+            // Drain slowly; each claim releases a credit and wakes the
+            // parked sender FIFO.
+            for want in 0..6 {
+                let e = claim_blocking(&net, 1, 0, 7);
+                assert_eq!(e.seq, want, "bounded delivery must stay per-signature FIFO");
+            }
+        });
+        assert!(
+            net.sends_parked.load(Ordering::Relaxed) > 0,
+            "6 sends against capacity 2 with a slow receiver never parked"
+        );
+        // The capacity bound held: at no point could more than 2 credits be
+        // outstanding, so nothing is left queued.
+        assert!(net.mailbox(1).is_empty());
+    }
+
+    #[test]
+    fn internal_traffic_bypasses_the_mailbox_bound() {
+        let net = Network::new(2, ClusterModel::ideal(), NetModel::reliable().mailbox_capacity(1));
+        for seq in 0..5 {
+            let mut e = env(0, 1, 3, seq);
+            e.comm = crate::COMM_CTRL;
+            net.send(e).unwrap(); // would park forever if counted
+        }
+        for seq in 0..5 {
+            let mut e = env(0, 1, 4, seq);
+            e.comm = COMM_WORLD.collective_shadow();
+            net.send(e).unwrap();
+        }
+        assert_eq!(net.mailbox(1).len(), 10);
+        assert_eq!(net.sends_parked.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn sends_to_a_finished_rank_complete_without_credits() {
+        let net = Network::new(2, ClusterModel::ideal(), NetModel::reliable().mailbox_capacity(1));
+        net.send(env(0, 1, 3, 0)).unwrap(); // takes the only credit
+        net.rank_done(1);
+        for seq in 1..5 {
+            net.send(env(0, 1, 3, seq)).unwrap(); // fire-and-forget at wind-down
+        }
+        assert_eq!(net.mailbox(1).len(), 5);
+    }
+
+    #[test]
+    fn deadlock_watchdog_poisons_a_two_rank_send_cycle() {
+        let net = Network::new(2, ClusterModel::ideal(), NetModel::reliable().mailbox_capacity(1));
+        let errs: Vec<_> = std::thread::scope(|s| {
+            let h0 = s.spawn(|| {
+                net.send(env(0, 1, 7, 0))?; // credit granted
+                net.send(env(0, 1, 7, 1)) // parks: rank 1's box is full
+            });
+            let h1 = s.spawn(|| {
+                net.send(env(1, 0, 7, 0))?;
+                net.send(env(1, 0, 7, 1))
+            });
+            [h0, h1].into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Neither mailbox can drain (both owners are blocked in send), so
+        // the watchdog must prove the cycle and poison both senders out.
+        assert!(errs.iter().all(|e| *e == Err(MpiError::Aborted)), "got {errs:?}");
+        let reason = net.poison_reason().unwrap();
+        assert!(reason.starts_with(crate::BACKPRESSURE_DEADLOCK_MARKER), "reason: {reason}");
+        assert!(reason.contains("rank 0") && reason.contains("rank 1"), "reason: {reason}");
+        assert!(reason.contains("capacity 1"), "reason: {reason}");
+    }
+
+    #[test]
+    fn deadlock_watchdog_catches_a_self_send_cycle() {
+        let net = Network::new(1, ClusterModel::ideal(), NetModel::reliable().mailbox_capacity(1));
+        net.send(env(0, 0, 2, 0)).unwrap();
+        let err = net.send(env(0, 0, 2, 1));
+        assert_eq!(err, Err(MpiError::Aborted));
+        let reason = net.poison_reason().unwrap();
+        assert!(reason.starts_with(crate::BACKPRESSURE_DEADLOCK_MARKER), "reason: {reason}");
+    }
+
+    #[test]
+    fn poison_releases_parked_senders() {
+        let net = Network::new(2, ClusterModel::ideal(), NetModel::reliable().mailbox_capacity(1));
+        net.send(env(0, 1, 7, 0)).unwrap();
+        std::thread::scope(|s| {
+            let parked = s.spawn(|| net.send(env(0, 1, 7, 1)));
+            while net.sends_parked.load(Ordering::Relaxed) == 0 {
+                std::thread::yield_now();
+            }
+            net.poison("rank 1 killed by fault injector");
+            assert_eq!(parked.join().unwrap(), Err(MpiError::Aborted));
+        });
     }
 
     #[test]

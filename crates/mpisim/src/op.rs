@@ -186,16 +186,32 @@ pub fn apply_op(op: &ReduceOp, a: &[u8], b: &mut [u8], ty: BasicType) -> Result<
         (ReduceOp::User { f, .. }, _) => f(a, b, ty),
         (ReduceOp::Sum, BasicType::F64) => combine_builtin!(a, b, f64, |x, y| x + y),
         (ReduceOp::Sum, BasicType::F32) => combine_builtin!(a, b, f32, |x, y| x + y),
-        (ReduceOp::Sum, BasicType::I32) => combine_builtin!(a, b, i32, |x: i32, y: i32| x.wrapping_add(y)),
-        (ReduceOp::Sum, BasicType::I64) => combine_builtin!(a, b, i64, |x: i64, y: i64| x.wrapping_add(y)),
-        (ReduceOp::Sum, BasicType::U64) => combine_builtin!(a, b, u64, |x: u64, y: u64| x.wrapping_add(y)),
-        (ReduceOp::Sum, BasicType::U8) => combine_builtin!(a, b, u8, |x: u8, y: u8| x.wrapping_add(y)),
+        (ReduceOp::Sum, BasicType::I32) => {
+            combine_builtin!(a, b, i32, |x: i32, y: i32| x.wrapping_add(y))
+        }
+        (ReduceOp::Sum, BasicType::I64) => {
+            combine_builtin!(a, b, i64, |x: i64, y: i64| x.wrapping_add(y))
+        }
+        (ReduceOp::Sum, BasicType::U64) => {
+            combine_builtin!(a, b, u64, |x: u64, y: u64| x.wrapping_add(y))
+        }
+        (ReduceOp::Sum, BasicType::U8) => {
+            combine_builtin!(a, b, u8, |x: u8, y: u8| x.wrapping_add(y))
+        }
         (ReduceOp::Prod, BasicType::F64) => combine_builtin!(a, b, f64, |x, y| x * y),
         (ReduceOp::Prod, BasicType::F32) => combine_builtin!(a, b, f32, |x, y| x * y),
-        (ReduceOp::Prod, BasicType::I32) => combine_builtin!(a, b, i32, |x: i32, y: i32| x.wrapping_mul(y)),
-        (ReduceOp::Prod, BasicType::I64) => combine_builtin!(a, b, i64, |x: i64, y: i64| x.wrapping_mul(y)),
-        (ReduceOp::Prod, BasicType::U64) => combine_builtin!(a, b, u64, |x: u64, y: u64| x.wrapping_mul(y)),
-        (ReduceOp::Prod, BasicType::U8) => combine_builtin!(a, b, u8, |x: u8, y: u8| x.wrapping_mul(y)),
+        (ReduceOp::Prod, BasicType::I32) => {
+            combine_builtin!(a, b, i32, |x: i32, y: i32| x.wrapping_mul(y))
+        }
+        (ReduceOp::Prod, BasicType::I64) => {
+            combine_builtin!(a, b, i64, |x: i64, y: i64| x.wrapping_mul(y))
+        }
+        (ReduceOp::Prod, BasicType::U64) => {
+            combine_builtin!(a, b, u64, |x: u64, y: u64| x.wrapping_mul(y))
+        }
+        (ReduceOp::Prod, BasicType::U8) => {
+            combine_builtin!(a, b, u8, |x: u8, y: u8| x.wrapping_mul(y))
+        }
         (ReduceOp::Min, BasicType::F64) => combine_builtin!(a, b, f64, |x: f64, y: f64| x.min(y)),
         (ReduceOp::Min, BasicType::F32) => combine_builtin!(a, b, f32, |x: f32, y: f32| x.min(y)),
         (ReduceOp::Min, BasicType::I32) => combine_builtin!(a, b, i32, |x: i32, y: i32| x.min(y)),

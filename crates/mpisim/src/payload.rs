@@ -59,7 +59,8 @@ impl fmt::Debug for BufferPool {
 
 fn shelf_for(capacity: usize) -> usize {
     let c = capacity.max(MIN_SHELF_BYTES);
-    let idx = (usize::BITS - (c - 1).leading_zeros()) as usize - MIN_SHELF_BYTES.trailing_zeros() as usize;
+    let idx = (usize::BITS - (c - 1).leading_zeros()) as usize
+        - MIN_SHELF_BYTES.trailing_zeros() as usize;
     idx.min(SHELVES - 1)
 }
 

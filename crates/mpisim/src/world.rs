@@ -49,6 +49,13 @@ impl JobSpec {
         self.net.seed = s;
         self
     }
+
+    /// Bound every destination mailbox to `cap` unclaimed application
+    /// messages (keeps reorder/drop/dup settings).
+    pub fn mailbox_capacity(mut self, cap: usize) -> Self {
+        self.net = self.net.mailbox_capacity(cap);
+        self
+    }
 }
 
 /// Why a job did not complete.
@@ -131,7 +138,7 @@ where
                 let net = Arc::clone(&net);
                 s.spawn(move || {
                     let mut ctx = RankCtx::new(rank, net.clone());
-                    match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
                         Ok(Ok(v)) => Outcome::Ok(v, ctx.vtime()),
                         Ok(Err(e)) => {
                             if e != MpiError::Aborted {
@@ -143,7 +150,11 @@ where
                             net.poison(&format!("rank {rank} panicked"));
                             Outcome::Panic
                         }
-                    }
+                    };
+                    // This mailbox will never be drained again; release any
+                    // sender parked on it (bounded-mailbox mode only).
+                    net.rank_done(rank);
+                    outcome
                 })
             })
             .collect();
@@ -298,7 +309,14 @@ mod tests {
             let pigs = ctx.barrier(COMM_WORLD, 1)?;
             assert_eq!(pigs.len(), 5);
             // reduce
-            let r = ctx.reduce(COMM_WORLD, 0, bytes_of(&[me as f64]), BasicType::F64, &ReduceOp::Max, 0)?;
+            let r = ctx.reduce(
+                COMM_WORLD,
+                0,
+                bytes_of(&[me as f64]),
+                BasicType::F64,
+                &ReduceOp::Max,
+                0,
+            )?;
             if ctx.rank() == 0 {
                 let v: Vec<f64> = vec_from_bytes(&r.unwrap());
                 assert_eq!(v[0], 4.0);

@@ -9,7 +9,7 @@
 //! `take_restored_state` always returns `None`, exactly like compiling the
 //! source without the precompiler.
 
-use mpisim::{MpiError, RankCtx, ReduceOp, Status, BasicType, COMM_WORLD};
+use mpisim::{BasicType, MpiError, RankCtx, ReduceOp, Status, COMM_WORLD};
 use statesave::codec::Encoder;
 
 /// Reduction selector for the trait's typed reductions.
@@ -161,10 +161,7 @@ impl Comm for RankCtx {
             .map(|items| items.into_iter().map(|(_, d)| d).collect()))
     }
     fn alltoall_bytes(&mut self, parts: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, MpiError> {
-        Ok(RankCtx::alltoall(self, COMM_WORLD, parts, 0)?
-            .into_iter()
-            .map(|(_, d)| d)
-            .collect())
+        Ok(RankCtx::alltoall(self, COMM_WORLD, parts, 0)?.into_iter().map(|(_, d)| d).collect())
     }
     fn barrier(&mut self) -> Result<(), MpiError> {
         RankCtx::barrier(self, COMM_WORLD, 0).map(|_| ())

@@ -223,11 +223,8 @@ fn y_solve<C: Comm>(
 
     // Forward elimination: receive the previous rank's last (C', d') pair per
     // column — n * (9 + 3) doubles.
-    let prev: Vec<f64> = if me > 0 {
-        comm.recv_f64((me - 1) as i32, 70)?
-    } else {
-        vec![0.0; n * (NB * NB + NB)]
-    };
+    let prev: Vec<f64> =
+        if me > 0 { comm.recv_f64((me - 1) as i32, 70)? } else { vec![0.0; n * (NB * NB + NB)] };
     let mut cp = vec![blk_zero(); rows * n];
     for r in 0..rows {
         for j in 0..n {

@@ -189,14 +189,19 @@ mod tests {
     fn cyclic_thomas_solves_the_cyclic_system() {
         let n = 64;
         let h2 = h2_of(n);
-        let rhs: Vec<f64> =
-            (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).sin() + 0.1).collect();
+        let rhs: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).sin() + 0.1)
+            .collect();
         let x = cyclic_thomas(&rhs, h2, SIGMA);
         for i in 0..n {
             let l = x[(i + n - 1) % n];
             let r = x[(i + 1) % n];
             let ax = (2.0 * x[i] - l - r) / h2 + SIGMA * x[i];
-            assert!((ax - rhs[i]).abs() < 1e-9 * rhs[i].abs().max(1.0), "row {i}: {ax} vs {}", rhs[i]);
+            assert!(
+                (ax - rhs[i]).abs() < 1e-9 * rhs[i].abs().max(1.0),
+                "row {i}: {ax} vs {}",
+                rhs[i]
+            );
         }
     }
 

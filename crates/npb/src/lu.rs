@@ -83,11 +83,8 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &LuConfig) -> Result<f64, MpiError> {
 
     while st.istep < cfg.isteps {
         // -------- forward sweep (dependences: north, west) --------
-        let mut north: Vec<f64> = if me > 0 {
-            comm.recv_f64((me - 1) as i32, 40)?
-        } else {
-            vec![0.0; n]
-        };
+        let mut north: Vec<f64> =
+            if me > 0 { comm.recv_f64((me - 1) as i32, 40)? } else { vec![0.0; n] };
         for r in 0..rows {
             for j in 0..n {
                 let up = if r == 0 { north[j] } else { st.u[(r - 1) * n + j] };
@@ -102,11 +99,8 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &LuConfig) -> Result<f64, MpiError> {
         }
 
         // -------- backward sweep (dependences: south, east) --------
-        let south: Vec<f64> = if me + 1 < p {
-            comm.recv_f64((me + 1) as i32, 41)?
-        } else {
-            vec![0.0; n]
-        };
+        let south: Vec<f64> =
+            if me + 1 < p { comm.recv_f64((me + 1) as i32, 41)? } else { vec![0.0; n] };
         for r in (0..rows).rev() {
             for j in (0..n).rev() {
                 let down = if r + 1 == rows { south[j] } else { st.u[(r + 1) * n + j] };

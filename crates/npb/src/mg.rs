@@ -10,12 +10,9 @@
 //! here too.
 
 use crate::backend::{Comm, Op};
-use crate::grid::{
-    apply_helmholtz, gather_solve_bcast, h2_of, jacobi, prolong_add, restrict_fw,
-};
+use crate::grid::{apply_helmholtz, gather_solve_bcast, h2_of, jacobi, prolong_add, restrict_fw};
 use mpisim::MpiError;
 use statesave::codec::{Decoder, Encoder};
-
 
 /// MG parameters.
 #[derive(Clone, Copy, Debug)]
@@ -121,8 +118,7 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &MgConfig) -> Result<f64, MpiError> {
     let f: Vec<f64> = (0..share)
         .map(|i| {
             let x = (lo + i) as f64 / n as f64;
-            (2.0 * std::f64::consts::PI * x).sin()
-                + 0.5 * (6.0 * std::f64::consts::PI * x).sin()
+            (2.0 * std::f64::consts::PI * x).sin() + 0.5 * (6.0 * std::f64::consts::PI * x).sin()
         })
         .collect();
 

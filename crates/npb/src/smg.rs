@@ -404,9 +404,8 @@ mod tests {
     fn vcycle_reduces_helmholtz_residual() {
         let out = mpisim::launch(&mpisim::JobSpec::new(1), |ctx| {
             let n = 256usize;
-            let f: Vec<f64> = (0..n)
-                .map(|g| (2.0 * std::f64::consts::PI * g as f64 / n as f64).sin())
-                .collect();
+            let f: Vec<f64> =
+                (0..n).map(|g| (2.0 * std::f64::consts::PI * g as f64 / n as f64).sin()).collect();
             let z = vcycle(ctx, n, 2, VcycleProgress::start(&f), &mut |_c, _v| Ok(()))?;
             let az = apply_helmholtz(ctx, &z, h2_of(n), 900)?;
             let res: f64 = f.iter().zip(&az).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();

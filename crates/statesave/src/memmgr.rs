@@ -38,12 +38,7 @@ impl ScratchPool {
     /// which in the steady checkpoint cycle is the same section's buffer
     /// from the previous round, already sized right).
     pub fn lease(&self) -> Vec<u8> {
-        let mut v = self
-            .stack
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_default();
+        let mut v = self.stack.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_default();
         v.clear();
         v
     }

@@ -126,8 +126,8 @@ impl VariableRegistry {
         let mut vars = Vec::with_capacity(n);
         for _ in 0..n {
             let name = d.str()?;
-            let ty = TypeCode::from_code(d.u8()?)
-                .ok_or_else(|| CodecError("bad type code".into()))?;
+            let ty =
+                TypeCode::from_code(d.u8()?).ok_or_else(|| CodecError("bad type code".into()))?;
             let value = d.bytes()?;
             vars.push(VarDesc { name, ty, value });
         }

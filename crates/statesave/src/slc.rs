@@ -51,7 +51,10 @@ impl SlcCheckpointer {
 
     /// The size an SLC checkpoint of this process would have.
     pub fn checkpoint_size(&self, heap: &CkptHeap) -> usize {
-        heap.image_bytes() + self.image.stack_bytes + self.image.static_bytes + self.image.text_bytes
+        heap.image_bytes()
+            + self.image.stack_bytes
+            + self.image.static_bytes
+            + self.image.text_bytes
     }
 
     /// Actually write the image (heap arena + segments) as one section, so

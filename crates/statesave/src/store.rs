@@ -60,7 +60,12 @@ impl CkptStore {
     }
 
     /// Read a named section for `(version, rank)`.
-    pub fn read_section(&self, version: u64, rank: usize, section: &str) -> std::io::Result<Vec<u8>> {
+    pub fn read_section(
+        &self,
+        version: u64,
+        rank: usize,
+        section: &str,
+    ) -> std::io::Result<Vec<u8>> {
         let mut f = fs::File::open(self.rank_dir(version, rank).join(format!("{section}.bin")))?;
         let mut buf = Vec::new();
         f.read_to_end(&mut buf)?;

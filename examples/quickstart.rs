@@ -51,7 +51,11 @@ fn ring_app(ctx: &mut C3Ctx<'_>, iters: u64) -> Result<u64, C3Error> {
         // checkpoint *may* be taken.
         let took = ctx.pragma(|e| st.save(e))?;
         if took {
-            println!("  [rank {me}] checkpoint started at iteration {} -> epoch {}", st.iter, ctx.epoch());
+            println!(
+                "  [rank {me}] checkpoint started at iteration {} -> epoch {}",
+                st.iter,
+                ctx.epoch()
+            );
         }
         ctx.send((me + 1) % n, 42, &[st.iter * 100 + me as u64])?;
         let (v, _) = ctx.recv::<u64>(((me + n - 1) % n) as i32, 42)?;

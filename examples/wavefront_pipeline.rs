@@ -59,9 +59,8 @@ fn pipeline(ctx: &mut C3Ctx<'_>) -> Result<f64, C3Error> {
         }
         if me == 0 {
             // Generate a deterministic row and push it downstream.
-            let row: Vec<f64> = (0..WIDTH)
-                .map(|c| ((st.row as usize * WIDTH + c) % 101) as f64 / 101.0)
-                .collect();
+            let row: Vec<f64> =
+                (0..WIDTH).map(|c| ((st.row as usize * WIDTH + c) % 101) as f64 / 101.0).collect();
             ctx.send(1, 9, &row)?;
             for (a, r) in st.acc.iter_mut().zip(&row) {
                 *a += r;

@@ -1,11 +1,12 @@
 //! Bounded deterministic chaos sweep — the tier-1 slice of the soak
 //! harness (`chaos_soak` in `c3-bench` runs the full 200-seed × 10-kernel
-//! × 2-network version). Every PR fuzzes the protocol with the same seeds:
+//! × 3-network version). Every PR fuzzes the protocol with the same seeds:
 //! each seed derives an ordered multi-fault [`ChaosPlan`] (pragma /
 //! op-clock / mid-commit / mid-replay deaths across successive
 //! incarnations, plus seed-derived network drop/duplication/reorder
-//! faults), runs both on the reliable in-order fabric and on a randomly
-//! reordering one with nonzero drop/duplication rates, and the recovered
+//! faults), runs on the reliable in-order fabric, on a randomly reordering
+//! one with nonzero drop/duplication rates, and on a tight bounded-mailbox
+//! fabric where senders park under backpressure — and the recovered
 //! result must be bit-identical to the failure-free run.
 
 mod util;
@@ -42,14 +43,13 @@ fn ring(ctx: &mut C3Ctx<'_>, iters: u64) -> Result<u64, C3Error> {
 }
 
 #[test]
-fn chaos_sweep_ring_32_seeds_times_2_networks() {
+fn chaos_sweep_ring_32_seeds_times_3_networks() {
     const NRANKS: usize = 3;
     const ITERS: u64 = 12;
 
     let base_store = TempStore::new("chaos-ring-base");
-    let baseline = Job::new(NRANKS, C3Config::passive(base_store.path()))
-        .run(|ctx| ring(ctx, ITERS))
-        .unwrap();
+    let baseline =
+        Job::new(NRANKS, C3Config::passive(base_store.path())).run(|ctx| ring(ctx, ITERS)).unwrap();
 
     let space = ChaosSpace { nranks: NRANKS, max_pragma: ITERS, max_op: 80 };
     let mut fired_total = 0u32;
@@ -59,7 +59,13 @@ fn chaos_sweep_ring_32_seeds_times_2_networks() {
     // seed runs on the reliable in-order fabric and on a reordering fabric
     // with nonzero drop/duplication rates.
     let networks = |seed: u64| {
-        [NetModel::reliable().seed(seed), NetModel::reorder(seed).drop_rate(15).duplicate_rate(10)]
+        [
+            NetModel::reliable().seed(seed),
+            NetModel::reorder(seed).drop_rate(15).duplicate_rate(10),
+            // Bounded mailboxes at the 2·nranks floor: senders park under
+            // backpressure whenever a burst outruns the receiver.
+            NetModel::reliable().seed(seed).mailbox_capacity(2 * NRANKS),
+        ]
     };
     for seed in 0..32u64 {
         let plan = ChaosPlan::from_seed(seed, &space);
@@ -94,7 +100,7 @@ fn chaos_sweep_ring_32_seeds_times_2_networks() {
         }
     }
     // The sweep must actually exercise recovery, not just run clean jobs.
-    assert!(fired_total >= 32, "only {fired_total} faults fired across 64 runs");
+    assert!(fired_total >= 48, "only {fired_total} faults fired across 96 runs");
     assert!(max_restarts >= 2, "no seed produced a multi-failure recovery");
     assert!(net_faulted >= 8, "seed derivation produced too few network-fault plans");
 }

@@ -13,17 +13,18 @@ use util::TempStore;
 #[test]
 fn split_partitions_and_orders_by_key() {
     let store = TempStore::new("split");
-    let out = c3::Job::new(6, C3Config::passive(store.path())).run(|ctx| {
-        let world = ctx.comm_world();
-        // Even/odd split; keys reverse the world order inside each half.
-        let color = (ctx.rank() % 2) as i64;
-        let key = -(ctx.rank() as i64);
-        let sub = ctx.comm_split(world, Some(color), key)?.expect("member");
-        let size = ctx.comm_size(sub)?;
-        let local = ctx.comm_rank(sub)?.expect("member rank");
-        Ok((size, local))
-    })
-    .unwrap();
+    let out = c3::Job::new(6, C3Config::passive(store.path()))
+        .run(|ctx| {
+            let world = ctx.comm_world();
+            // Even/odd split; keys reverse the world order inside each half.
+            let color = (ctx.rank() % 2) as i64;
+            let key = -(ctx.rank() as i64);
+            let sub = ctx.comm_split(world, Some(color), key)?.expect("member");
+            let size = ctx.comm_size(sub)?;
+            let local = ctx.comm_rank(sub)?.expect("member rank");
+            Ok((size, local))
+        })
+        .unwrap();
     for (world_rank, (size, local)) in out.results.iter().enumerate() {
         assert_eq!(*size, 3, "rank {world_rank}");
         // Keys are negative world ranks, so local order is reversed: world
@@ -44,43 +45,49 @@ fn split_partitions_and_orders_by_key() {
 #[test]
 fn undefined_color_yields_none_but_participates() {
     let store = TempStore::new("undef");
-    let out = c3::Job::new(4, C3Config::passive(store.path())).run(|ctx| {
-        let world = ctx.comm_world();
-        let color = if ctx.rank() < 2 { Some(0) } else { None };
-        let sub = ctx.comm_split(world, color, 0)?;
-        Ok(sub.is_some())
-    })
-    .unwrap();
+    let out = c3::Job::new(4, C3Config::passive(store.path()))
+        .run(|ctx| {
+            let world = ctx.comm_world();
+            let color = if ctx.rank() < 2 { Some(0) } else { None };
+            let sub = ctx.comm_split(world, color, 0)?;
+            Ok(sub.is_some())
+        })
+        .unwrap();
     assert_eq!(out.results, vec![true, true, false, false]);
 }
 
 #[test]
 fn subgroup_collectives_and_p2p() {
     let store = TempStore::new("coll");
-    let out = c3::Job::new(6, C3Config::passive(store.path())).run(|ctx| {
-        let world = ctx.comm_world();
-        let color = (ctx.rank() / 3) as i64; // {0,1,2} and {3,4,5}
-        let sub = ctx.comm_split(world, Some(color), 0)?.expect("member");
-        let local = ctx.comm_rank(sub)?.unwrap();
+    let out = c3::Job::new(6, C3Config::passive(store.path()))
+        .run(|ctx| {
+            let world = ctx.comm_world();
+            let color = (ctx.rank() / 3) as i64; // {0,1,2} and {3,4,5}
+            let sub = ctx.comm_split(world, Some(color), 0)?.expect("member");
+            let local = ctx.comm_rank(sub)?.unwrap();
 
-        // Allreduce of world ranks inside the subgroup.
-        let sum = ctx.allreduce_on(sub, &(ctx.rank() as u64).to_le_bytes(),
-            mpisim::BasicType::U64, &ReduceOp::Sum)?;
-        let sum = u64::from_le_bytes(sum[..8].try_into().unwrap());
+            // Allreduce of world ranks inside the subgroup.
+            let sum = ctx.allreduce_on(
+                sub,
+                &(ctx.rank() as u64).to_le_bytes(),
+                mpisim::BasicType::U64,
+                &ReduceOp::Sum,
+            )?;
+            let sum = u64::from_le_bytes(sum[..8].try_into().unwrap());
 
-        // Bcast from subgroup root.
-        let mut data = if local == 0 { vec![color as u8 + 10] } else { Vec::new() };
-        ctx.bcast_on(sub, 0, &mut data)?;
+            // Bcast from subgroup root.
+            let mut data = if local == 0 { vec![color as u8 + 10] } else { Vec::new() };
+            ctx.bcast_on(sub, 0, &mut data)?;
 
-        // Ring p2p inside the subgroup (local ranks).
-        let n = ctx.comm_size(sub)?;
-        ctx.send_on(sub, (local + 1) % n, 5, &[local as u8])?;
-        let (got, st) = ctx.recv_on(sub, ((local + n - 1) % n) as i32, 5)?;
-        assert_eq!(st.src, (local + n - 1) % n, "status carries the local rank");
+            // Ring p2p inside the subgroup (local ranks).
+            let n = ctx.comm_size(sub)?;
+            ctx.send_on(sub, (local + 1) % n, 5, &[local as u8])?;
+            let (got, st) = ctx.recv_on(sub, ((local + n - 1) % n) as i32, 5)?;
+            assert_eq!(st.src, (local + n - 1) % n, "status carries the local rank");
 
-        Ok((sum, data[0], got[0]))
-    })
-    .unwrap();
+            Ok((sum, data[0], got[0]))
+        })
+        .unwrap();
     for (world_rank, (sum, b, got)) in out.results.iter().enumerate() {
         let expected_sum: u64 = if world_rank < 3 { 1 + 2 } else { 3 + 4 + 5 };
         assert_eq!(*sum, expected_sum, "rank {world_rank}");
@@ -96,40 +103,42 @@ fn same_tag_different_comms_do_not_cross() {
     // on one must never match a receive on the other, even with identical
     // (world-src, tag) pairs — the derived wire ids separate them.
     let store = TempStore::new("cross");
-    let out = c3::Job::new(2, C3Config::passive(store.path())).run(|ctx| {
-        let world = ctx.comm_world();
-        let a = ctx.comm_split(world, Some(0), 0)?.unwrap();
-        let b = ctx.comm_dup(a)?;
-        if ctx.rank() == 0 {
-            ctx.send_on(a, 1, 9, &[1u8])?;
-            ctx.send_on(b, 1, 9, &[2u8])?;
-            Ok(0)
-        } else {
-            // Receive in the *opposite* order of sending: comm separation,
-            // not arrival order, must route these.
-            let (vb, _) = ctx.recv_on(b, 0, 9)?;
-            let (va, _) = ctx.recv_on(a, 0, 9)?;
-            assert_eq!((va[0], vb[0]), (1, 2));
-            Ok(1)
-        }
-    })
-    .unwrap();
+    let out = c3::Job::new(2, C3Config::passive(store.path()))
+        .run(|ctx| {
+            let world = ctx.comm_world();
+            let a = ctx.comm_split(world, Some(0), 0)?.unwrap();
+            let b = ctx.comm_dup(a)?;
+            if ctx.rank() == 0 {
+                ctx.send_on(a, 1, 9, &[1u8])?;
+                ctx.send_on(b, 1, 9, &[2u8])?;
+                Ok(0)
+            } else {
+                // Receive in the *opposite* order of sending: comm separation,
+                // not arrival order, must route these.
+                let (vb, _) = ctx.recv_on(b, 0, 9)?;
+                let (va, _) = ctx.recv_on(a, 0, 9)?;
+                assert_eq!((va[0], vb[0]), (1, 2));
+                Ok(1)
+            }
+        })
+        .unwrap();
     assert_eq!(out.results, vec![0, 1]);
 }
 
 #[test]
 fn comm_free_rejects_reuse_and_double_free() {
     let store = TempStore::new("free");
-    c3::Job::new(2, C3Config::passive(store.path())).run(|ctx| {
-        let world = ctx.comm_world();
-        let sub = ctx.comm_dup(world)?;
-        ctx.comm_free(sub)?;
-        assert!(ctx.comm_free(sub).is_err(), "double free must fail");
-        assert!(ctx.barrier_on(sub).is_err(), "use after free must fail");
-        assert!(ctx.comm_free(ctx.comm_world()).is_err(), "world is not freeable");
-        Ok(())
-    })
-    .unwrap();
+    c3::Job::new(2, C3Config::passive(store.path()))
+        .run(|ctx| {
+            let world = ctx.comm_world();
+            let sub = ctx.comm_dup(world)?;
+            ctx.comm_free(sub)?;
+            assert!(ctx.comm_free(sub).is_err(), "double free must fail");
+            assert!(ctx.barrier_on(sub).is_err(), "use after free must fail");
+            assert!(ctx.comm_free(ctx.comm_world()).is_err(), "world is not freeable");
+            Ok(())
+        })
+        .unwrap();
 }
 
 /// The paper's requirement: communicator structures are part of the
@@ -179,7 +188,6 @@ fn derived_comms_survive_failure_and_recovery() {
         Ok(acc)
     }
 
-
     let base_store = TempStore::new("rec-base");
     let baseline = c3::Job::new(4, C3Config::passive(base_store.path())).run(app).unwrap();
 
@@ -195,21 +203,22 @@ fn derived_comms_survive_failure_and_recovery() {
 #[test]
 fn nested_splits() {
     let store = TempStore::new("nest");
-    let out = c3::Job::new(8, C3Config::passive(store.path())).run(|ctx| {
-        let world = ctx.comm_world();
-        let half = ctx.comm_split(world, Some((ctx.rank() / 4) as i64), 0)?.unwrap();
-        let quarter =
-            ctx.comm_split(half, Some((ctx.comm_rank(half)?.unwrap() / 2) as i64), 0)?.unwrap();
-        assert_eq!(ctx.comm_size(quarter)?, 2);
-        let s = ctx.allreduce_on(
-            quarter,
-            &(ctx.rank() as u64).to_le_bytes(),
-            mpisim::BasicType::U64,
-            &ReduceOp::Sum,
-        )?;
-        Ok(u64::from_le_bytes(s[..8].try_into().unwrap()))
-    })
-    .unwrap();
+    let out = c3::Job::new(8, C3Config::passive(store.path()))
+        .run(|ctx| {
+            let world = ctx.comm_world();
+            let half = ctx.comm_split(world, Some((ctx.rank() / 4) as i64), 0)?.unwrap();
+            let quarter =
+                ctx.comm_split(half, Some((ctx.comm_rank(half)?.unwrap() / 2) as i64), 0)?.unwrap();
+            assert_eq!(ctx.comm_size(quarter)?, 2);
+            let s = ctx.allreduce_on(
+                quarter,
+                &(ctx.rank() as u64).to_le_bytes(),
+                mpisim::BasicType::U64,
+                &ReduceOp::Sum,
+            )?;
+            Ok(u64::from_le_bytes(s[..8].try_into().unwrap()))
+        })
+        .unwrap();
     // Quarters are {0,1},{2,3},{4,5},{6,7}: sums 1,1,5,5,9,9,13,13.
     assert_eq!(out.results, vec![1, 1, 5, 5, 9, 9, 13, 13]);
 }
@@ -254,7 +263,6 @@ fn cart_topology_halo_exchange_recovers() {
         }
         Ok(val)
     }
-
 
     let base_store = TempStore::new("cart-base");
     let baseline = c3::Job::new(4, C3Config::passive(base_store.path())).run(app).unwrap();

@@ -45,7 +45,13 @@ fn typed_app(ctx: &mut C3Ctx<'_>) -> Result<u64, C3Error> {
         let bytes = mpisim::bytes_of(&mat);
         ctx.send_typed((me + 1) % n, 6, bytes, 1, col_ty)?;
         let mut recv_mat = vec![0.0f64; N * N];
-        ctx.recv_typed(((me + n - 1) % n) as i32, 6, mpisim::bytes_of_mut(&mut recv_mat), 1, col_ty)?;
+        ctx.recv_typed(
+            ((me + n - 1) % n) as i32,
+            6,
+            mpisim::bytes_of_mut(&mut recv_mat),
+            1,
+            col_ty,
+        )?;
         // The received column landed at the strided positions; fold them.
         for blk in 0..4 {
             for j in 0..2 {
@@ -72,8 +78,7 @@ fn derived_datatype_roundtrip_is_strided() {
 #[test]
 fn derived_datatypes_survive_failure_and_recovery() {
     let base_store = TempStore::new("dt-base");
-    let baseline =
-        c3::Job::new(3, C3Config::passive(base_store.path())).run(typed_app).unwrap();
+    let baseline = c3::Job::new(3, C3Config::passive(base_store.path())).run(typed_app).unwrap();
 
     let store = TempStore::new("dt-fail");
     let cfg = C3Config::at_pragmas(store.path(), vec![3]);

@@ -48,9 +48,8 @@ fn run_job_equals_job_run() {
         ring(ctx, ITERS)
     })
     .unwrap();
-    let builder = Job::new(NRANKS, C3Config::passive(store_b.path()))
-        .run(|ctx| ring(ctx, ITERS))
-        .unwrap();
+    let builder =
+        Job::new(NRANKS, C3Config::passive(store_b.path())).run(|ctx| ring(ctx, ITERS)).unwrap();
     assert_eq!(builder.restarts, 0);
     assert_eq!(legacy.results, builder.handle.results);
 }
@@ -126,10 +125,14 @@ fn spec_reflects_merged_network_faults() {
     let store = TempStore::new("rt-spec");
     let job = Job::new(NRANKS, C3Config::passive(store.path()))
         .network(NetModel::reliable().seed(7))
-        .chaos(
-            ChaosPlan::new(vec![FailurePlan { rank: 0, when: FailAt::Pragma(2) }])
-                .with_net(c3::NetFault { drop_permille: 20, dup_permille: 10, reorder: true }),
-        );
+        .chaos(ChaosPlan::new(vec![FailurePlan { rank: 0, when: FailAt::Pragma(2) }]).with_net(
+            c3::NetFault {
+                drop_permille: 20,
+                dup_permille: 10,
+                reorder: true,
+                mailbox_capacity: None,
+            },
+        ));
     let spec = job.spec();
     assert_eq!(spec.nranks, NRANKS);
     assert_eq!(spec.net.drop_permille, 20);

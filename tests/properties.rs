@@ -28,8 +28,12 @@ fn any_kind() -> impl Strategy<Value = StreamKind> {
 }
 
 fn any_sig() -> impl Strategy<Value = StreamSig> {
-    (0usize..64, 0usize..64, 0u32..4, any_kind())
-        .prop_map(|(src, dst, comm, kind)| StreamSig { src, dst, comm, kind })
+    (0usize..64, 0usize..64, 0u32..4, any_kind()).prop_map(|(src, dst, comm, kind)| StreamSig {
+        src,
+        dst,
+        comm,
+        kind,
+    })
 }
 
 proptest! {
@@ -328,9 +332,7 @@ proptest! {
     }
 }
 
-fn chain_last_state(
-    steps: &[BTreeMap<String, Vec<u8>>],
-) -> BTreeMap<String, Vec<u8>> {
+fn chain_last_state(steps: &[BTreeMap<String, Vec<u8>>]) -> BTreeMap<String, Vec<u8>> {
     let mut state = BTreeMap::new();
     for step in steps {
         for (k, v) in step {
@@ -532,12 +534,8 @@ mod arrival_classification_model {
             };
             assert_eq!(class, expected_class, "classify(delta {delta})");
             assert_eq!(sender_logging, logging, "logging bit roundtrip");
-            let sig = StreamSig {
-                src: 1,
-                dst: 0,
-                comm: 0,
-                kind: StreamKind::P2p { tag: tag as i32 },
-            };
+            let sig =
+                StreamSig { src: 1, dst: 0, comm: 0, kind: StreamKind::P2p { tag: tag as i32 } };
             let data = vec![0xabu8; len as usize];
             ctx.apply_arrival(class, sender_logging, sig, wildcard, &data).unwrap();
             model.apply(class, sender_logging, wildcard, len as u64);

@@ -31,13 +31,14 @@ macro_rules! check {
                 rank: $fail_rank,
                 when: FailAt::AfterCommits { commits: 1, pragma: $fail_pragma },
             };
-            let rec = c3::Job::from_spec(&spec, c3cfg).failure(plan).run(move |ctx| {
-                npb::$module::run(ctx, &cfg).map_err(C3Error::Mpi)
-            })
-            .unwrap_or_else(|e| panic!("{} failed to recover: {e}", stringify!($name)));
+            let rec = c3::Job::from_spec(&spec, c3cfg)
+                .failure(plan)
+                .run(move |ctx| npb::$module::run(ctx, &cfg).map_err(C3Error::Mpi))
+                .unwrap_or_else(|e| panic!("{} failed to recover: {e}", stringify!($name)));
             assert!(rec.restarts >= 1, "{}: failure never fired", stringify!($name));
             assert_eq!(
-                rec.handle.results, baseline.results,
+                rec.handle.results,
+                baseline.results,
                 "{}: recovered result differs from failure-free baseline",
                 stringify!($name)
             );
@@ -86,10 +87,10 @@ fn ep_recovers() {
     let store = TempStore::new("ep");
     let c3cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 0, when: FailAt::AfterCommits { commits: 1, pragma: 7 } };
-    let rec = c3::Job::from_spec(&spec, c3cfg).failure(plan).run(move |ctx| {
-        npb::ep::run(ctx, &cfg).map_err(C3Error::Mpi)
-    })
-    .unwrap();
+    let rec = c3::Job::from_spec(&spec, c3cfg)
+        .failure(plan)
+        .run(move |ctx| npb::ep::run(ctx, &cfg).map_err(C3Error::Mpi))
+        .unwrap();
     assert!(rec.restarts >= 1, "ep: failure never fired");
     assert_eq!(rec.handle.results, baseline.results);
 }
@@ -106,10 +107,10 @@ fn cg_recovers_under_reordering() {
     let store = TempStore::new("cg-reorder");
     let c3cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 1, when: FailAt::AfterCommits { commits: 1, pragma: 5 } };
-    let rec = c3::Job::from_spec(&spec, c3cfg).failure(plan).run(move |ctx| {
-        npb::cg::run(ctx, &cfg).map_err(C3Error::Mpi)
-    })
-    .unwrap();
+    let rec = c3::Job::from_spec(&spec, c3cfg)
+        .failure(plan)
+        .run(move |ctx| npb::cg::run(ctx, &cfg).map_err(C3Error::Mpi))
+        .unwrap();
     assert!(rec.restarts >= 1);
     assert_eq!(rec.handle.results, baseline.results);
 }
@@ -126,10 +127,10 @@ fn ft_recovers_under_reordering() {
     let store = TempStore::new("ft-reorder");
     let c3cfg = C3Config::at_pragmas(store.path(), vec![3]);
     let plan = FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 1, pragma: 5 } };
-    let rec = c3::Job::from_spec(&spec, c3cfg).failure(plan).run(move |ctx| {
-        npb::ft::run(ctx, &cfg).map_err(C3Error::Mpi)
-    })
-    .unwrap();
+    let rec = c3::Job::from_spec(&spec, c3cfg)
+        .failure(plan)
+        .run(move |ctx| npb::ft::run(ctx, &cfg).map_err(C3Error::Mpi))
+        .unwrap();
     assert!(rec.restarts >= 1);
     assert_eq!(rec.handle.results, baseline.results);
 }
@@ -145,10 +146,10 @@ fn cg_recovers_from_second_line() {
     let store = TempStore::new("cg-two");
     let c3cfg = C3Config::at_pragmas(store.path(), vec![3, 6]);
     let plan = FailurePlan { rank: 2, when: FailAt::AfterCommits { commits: 2, pragma: 8 } };
-    let rec = c3::Job::from_spec(&spec, c3cfg).failure(plan).run(move |ctx| {
-        npb::cg::run(ctx, &cfg).map_err(C3Error::Mpi)
-    })
-    .unwrap();
+    let rec = c3::Job::from_spec(&spec, c3cfg)
+        .failure(plan)
+        .run(move |ctx| npb::cg::run(ctx, &cfg).map_err(C3Error::Mpi))
+        .unwrap();
     assert!(rec.restarts >= 1);
     assert_eq!(rec.handle.results, baseline.results);
 }
@@ -165,10 +166,10 @@ fn failure_before_any_commit_restarts_from_scratch() {
     let store = TempStore::new("sp-scratch");
     let c3cfg = C3Config::passive(store.path());
     let plan = FailurePlan { rank: 1, when: FailAt::Pragma(2) };
-    let rec = c3::Job::from_spec(&spec, c3cfg).failure(plan).run(move |ctx| {
-        npb::sp::run(ctx, &cfg).map_err(C3Error::Mpi)
-    })
-    .unwrap();
+    let rec = c3::Job::from_spec(&spec, c3cfg)
+        .failure(plan)
+        .run(move |ctx| npb::sp::run(ctx, &cfg).map_err(C3Error::Mpi))
+        .unwrap();
     assert_eq!(rec.restarts, 1);
     assert_eq!(rec.handle.results, baseline.results);
 }
