@@ -233,7 +233,9 @@ fn parse_args() -> Args {
         seeds: 200,
         base_seed: 0,
         quick: false,
-        jobs: std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4),
+        // Full parallelism by default; `--jobs` overrides in either
+        // direction (the old hard cap of 8 silently wasted wider hosts).
+        jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
         kernels: None,
     };
     let mut it = std::env::args().skip(1);

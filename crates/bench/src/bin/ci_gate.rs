@@ -14,10 +14,18 @@
 //! 4. `cargo clippy --workspace --all-targets -- -D warnings`
 //! 5. `chaos_soak --seeds 32 --quick` (deterministic fault-injection
 //!    smoke; writes `BENCH_recovery.json` under `--out-dir`)
-//! 6. BENCH hygiene: the fresh and the committed `BENCH_recovery.json` /
-//!    `BENCH_message_path.json` parse and carry the expected schema keys
-//! 7. `recovery_trend` — restart-cost percentiles vs the copy committed at
-//!    `HEAD` (informational report; parse failures gate, noise does not)
+//! 6. `message_path` (fresh run under `--out-dir`, for the ratchet below)
+//! 7. `scaling --smoke` (weak-scaling smoke: cg at 256 ranks under the
+//!    event scheduler; writes `BENCH_scaling.json` under `--out-dir`)
+//! 8. BENCH hygiene: the fresh and the committed `BENCH_recovery.json` /
+//!    `BENCH_message_path.json` / `BENCH_scaling.json` parse and carry the
+//!    expected schema keys
+//! 9. message-path ratchet: each fresh `ns_per_op` must stay within a
+//!    tolerance factor of the committed baseline (default 3×, a
+//!    catastrophic-regression gate that tolerates shared-runner noise;
+//!    override with `C3_PERF_RATCHET_FACTOR`)
+//! 10. `recovery_trend` — restart-cost percentiles vs the copy committed at
+//!     `HEAD` (informational report; parse failures gate, noise does not)
 //!
 //! ```text
 //! ci_gate [--skip-build] [--out-dir DIR]
@@ -64,7 +72,7 @@ fn missing_keys<'k>(body: &str, keys: &[&'k str]) -> Vec<&'k str> {
 /// BENCH hygiene: every benchmark baseline must parse and carry the schema
 /// the trend tooling reads, *before* any diff runs — a malformed baseline
 /// must fail loudly here, not as a confusing trend-diff error.
-fn check_bench_schemas(fresh_recovery: &std::path::Path, results: &mut Vec<Step>) {
+fn check_bench_schemas(out_dir: &std::path::Path, results: &mut Vec<Step>) {
     println!("\n=== ci_gate: bench schema validation ===");
     let recovery_keys = [
         "bench",
@@ -81,14 +89,26 @@ fn check_bench_schemas(fresh_recovery: &std::path::Path, results: &mut Vec<Step>
         "p99",
     ];
     let message_path_keys = ["bench", "unit", "results", "name", "ns_per_op", "bytes_per_op"];
-    let targets: [(&str, String, &[&str]); 3] = [
+    let scaling_keys = [
+        "bench",
+        "unit",
+        "sched",
+        "results",
+        "kernel",
+        "nranks",
+        "wall_ms",
+        "makespan_ms",
+        "msgs_sent",
+        "checksum",
+    ];
+    let fresh = |name: &str| out_dir.join(name).to_string_lossy().into_owned();
+    let targets: [(&str, String, &[&str]); 6] = [
         ("committed BENCH_recovery.json", "BENCH_recovery.json".into(), &recovery_keys),
-        (
-            "fresh BENCH_recovery.json",
-            fresh_recovery.to_string_lossy().into_owned(),
-            &recovery_keys,
-        ),
+        ("fresh BENCH_recovery.json", fresh("BENCH_recovery.json"), &recovery_keys),
         ("committed BENCH_message_path.json", "BENCH_message_path.json".into(), &message_path_keys),
+        ("fresh BENCH_message_path.json", fresh("BENCH_message_path.json"), &message_path_keys),
+        ("committed BENCH_scaling.json", "BENCH_scaling.json".into(), &scaling_keys),
+        ("fresh BENCH_scaling.json", fresh("BENCH_scaling.json"), &scaling_keys),
     ];
     let mut ok = true;
     for (label, path, keys) in targets {
@@ -110,6 +130,87 @@ fn check_bench_schemas(fresh_recovery: &std::path::Path, results: &mut Vec<Step>
     }
     println!("=== ci_gate: bench schema validation: {} ===", if ok { "PASS" } else { "FAIL" });
     results.push(Step { name: "bench schema validation", ok });
+}
+
+/// Parse `(name, ns_per_op)` pairs out of a `BENCH_message_path.json` body
+/// (hand-rolled scanner, same idiom as `recovery_trend`).
+fn parse_message_path(body: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    let mut rest = body;
+    while let Some(open) = rest.find("{\"name\": \"") {
+        let obj = &rest[open..];
+        let name_start = "{\"name\": \"".len();
+        let Some(name_end) = obj[name_start..].find('"') else { break };
+        let name = obj[name_start..name_start + name_end].to_string();
+        let ns =
+            obj.find("\"ns_per_op\": ").map(|at| at + "\"ns_per_op\": ".len()).and_then(|start| {
+                let num: String =
+                    obj[start..].chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+                num.parse::<f64>().ok()
+            });
+        if let Some(ns) = ns {
+            rows.push((name, ns));
+        }
+        rest = &obj[name_start + name_end..];
+    }
+    rows
+}
+
+/// The message-path perf ratchet: every scenario in the committed
+/// `BENCH_message_path.json` must still exist in the fresh run and must
+/// not exceed `committed × factor` ns/op. The default factor (3×) gates
+/// catastrophic regressions — an accidental copy on the zero-copy path, a
+/// lock pushed into the per-message fast path — while tolerating the
+/// wall-clock noise of shared CI runners.
+fn check_message_path_ratchet(out_dir: &std::path::Path, results: &mut Vec<Step>) {
+    println!("\n=== ci_gate: message_path ratchet ===");
+    let factor = std::env::var("C3_PERF_RATCHET_FACTOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(3.0);
+    let fresh_path = out_dir.join("BENCH_message_path.json");
+    let mut ok = true;
+    match (std::fs::read_to_string("BENCH_message_path.json"), std::fs::read_to_string(&fresh_path))
+    {
+        (Ok(committed), Ok(fresh)) => {
+            let baseline = parse_message_path(&committed);
+            let current = parse_message_path(&fresh);
+            if baseline.is_empty() {
+                eprintln!("ci_gate: committed BENCH_message_path.json has no scenarios");
+                ok = false;
+            }
+            for (name, base_ns) in &baseline {
+                match current.iter().find(|(n, _)| n == name) {
+                    Some((_, cur_ns)) => {
+                        let ratio = cur_ns / base_ns;
+                        let verdict = if ratio <= factor { "ok" } else { "REGRESSED" };
+                        println!(
+                            "ci_gate: {name}: {base_ns:.1} -> {cur_ns:.1} ns/op \
+                             ({ratio:.2}x, limit {factor:.1}x): {verdict}"
+                        );
+                        if ratio > factor {
+                            ok = false;
+                        }
+                    }
+                    None => {
+                        eprintln!("ci_gate: {name}: missing from the fresh run");
+                        ok = false;
+                    }
+                }
+            }
+        }
+        (c, f) => {
+            if let Err(e) = c {
+                eprintln!("ci_gate: cannot read committed BENCH_message_path.json: {e}");
+            }
+            if let Err(e) = f {
+                eprintln!("ci_gate: cannot read {}: {e}", fresh_path.display());
+            }
+            ok = false;
+        }
+    }
+    println!("=== ci_gate: message_path ratchet: {} ===", if ok { "PASS" } else { "FAIL" });
+    results.push(Step { name: "message_path ratchet", ok });
 }
 
 fn main() {
@@ -169,7 +270,29 @@ fn main() {
         soak.env("BENCH_OUT_DIR", &out_dir);
         run("chaos_soak --seeds 32 --quick", soak, &mut results);
     }
-    check_bench_schemas(&fresh_recovery, &mut results);
+    {
+        let mut mp = cargo(&["run", "--release", "-q", "-p", "c3-bench", "--bin", "message_path"]);
+        mp.env("BENCH_OUT_DIR", &out_dir);
+        run("message_path (fresh)", mp, &mut results);
+    }
+    {
+        let mut sc = cargo(&[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "c3-bench",
+            "--bin",
+            "scaling",
+            "--",
+            "--smoke",
+        ]);
+        sc.env("BENCH_OUT_DIR", &out_dir);
+        run("scaling --smoke (256 ranks)", sc, &mut results);
+    }
+    let out_dir_path = std::path::Path::new(&out_dir);
+    check_bench_schemas(out_dir_path, &mut results);
+    check_message_path_ratchet(out_dir_path, &mut results);
     run(
         "recovery_trend vs HEAD",
         cargo(&[

@@ -1,8 +1,168 @@
-//! §6.4's scaling claim as a standalone binary: project the measured
-//! per-checkpoint cost to hourly and daily checkpointing frequencies.
+//! `scaling` — the weak-scaling bench behind the event-driven scheduler.
+//!
+//! The paper's platform (§6) runs up to thousands of MPI processes; with
+//! thread-per-rank the substrate tops out at a few hundred ranks of OS
+//! scheduler thrash. The event-driven scheduler turns ranks into resumable
+//! tasks on a fixed worker pool, so one process can simulate 4096 ranks.
+//! This bench pins that claim: NPB kernels at weak-scaling problem sizes
+//! (per-rank work constant) from 64 to 4096 ranks on the Lemieux cluster
+//! model, emitting `BENCH_scaling.json` (working directory, or under
+//! `$BENCH_OUT_DIR`) so successive PRs accumulate the trajectory.
+//!
+//! Kernels:
+//! * `cg` — conjugate gradient, `n = 32 × nranks` rows (32 per rank):
+//!   nearest-neighbor halo exchange plus three allreduces per iteration —
+//!   the communication-bound shape;
+//! * `ep` — embarrassingly parallel, one block per rank: pure compute with
+//!   three final allreduces — the synchronization-floor shape.
+//!
+//! At the smallest scale the checksums are cross-checked against the
+//! thread-per-rank oracle (the determinism anchor: results and op clocks
+//! are scheduler-independent), so the numbers recorded here are provably
+//! measurements of the same computation.
+//!
+//! Flags: `--smoke` runs only cg at 256 ranks (the ci_gate configuration);
+//! `--max-ranks N` caps the sweep.
 
-use c3_bench::tables;
+use c3_bench::{Align, Table};
+use mpisim::{ClusterModel, JobSpec, SchedMode};
+use std::time::Instant;
+
+const RANKS: [usize; 4] = [64, 256, 1024, 4096];
+/// Largest scale at which the thread-per-rank oracle is also run for the
+/// bit-equality cross-check (beyond this, one OS thread per rank is the
+/// bottleneck the event scheduler exists to remove).
+const ORACLE_RANKS: usize = 64;
+
+struct Row {
+    kernel: &'static str,
+    nranks: usize,
+    wall_ms: f64,
+    makespan_ms: f64,
+    msgs_sent: u64,
+    checksum: u64,
+}
+
+/// One weak-scaling run: per-rank work is constant, the job grows.
+fn run_kernel(kernel: &str, nranks: usize, sched: SchedMode) -> Row {
+    let spec = JobSpec::new(nranks).cluster(ClusterModel::lemieux()).sched(sched);
+    let start = Instant::now();
+    let (out, checksum) = match kernel {
+        "cg" => {
+            let cfg = npb::cg::CgConfig { n: 32 * nranks, iters: 4 };
+            let out = mpisim::launch(&spec, |ctx| npb::cg::run(ctx, &cfg).map(|r| r.to_bits()))
+                .unwrap_or_else(|e| panic!("cg at {nranks} ranks: {e}"));
+            let sum = out.results.iter().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(*b));
+            (out, sum)
+        }
+        "ep" => {
+            let cfg = npb::ep::EpConfig { m_per_block: 10, blocks: nranks as u64 };
+            let out = mpisim::launch(&spec, |ctx| npb::ep::run(ctx, &cfg).map(|r| r.to_bits()))
+                .unwrap_or_else(|e| panic!("ep at {nranks} ranks: {e}"));
+            let sum = out.results.iter().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(*b));
+            (out, sum)
+        }
+        other => panic!("unknown kernel {other}"),
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Row {
+        kernel: if kernel == "cg" { "cg" } else { "ep" },
+        nranks,
+        wall_ms,
+        makespan_ms: out.makespan_ns() as f64 / 1e6,
+        msgs_sent: out.msgs_sent,
+        checksum,
+    }
+}
 
 fn main() {
-    tables::scaling_table(4).print();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let max_ranks = args
+        .iter()
+        .position(|a| a == "--max-ranks")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+
+    let event = SchedMode::default();
+    let plan: Vec<(&str, usize)> = if smoke {
+        vec![("cg", 256)]
+    } else {
+        let mut p = Vec::new();
+        for &n in RANKS.iter().filter(|&&n| n <= max_ranks) {
+            p.push(("cg", n));
+            p.push(("ep", n));
+        }
+        p
+    };
+
+    // Determinism anchor: at the smallest scale of the sweep, the event
+    // scheduler must reproduce the thread oracle bit for bit.
+    if !smoke {
+        for kernel in ["cg", "ep"] {
+            let ev = run_kernel(kernel, ORACLE_RANKS, event);
+            let th = run_kernel(kernel, ORACLE_RANKS, SchedMode::ThreadPerRank);
+            assert_eq!(
+                ev.checksum, th.checksum,
+                "{kernel} at {ORACLE_RANKS} ranks: event scheduler diverged from thread oracle"
+            );
+        }
+        eprintln!("oracle cross-check at {ORACLE_RANKS} ranks: bit-identical");
+    }
+
+    let rows: Vec<Row> = plan.iter().map(|&(k, n)| run_kernel(k, n, event)).collect();
+
+    let mut t = Table::new(
+        "weak scaling — event-driven scheduler, Lemieux cluster model",
+        &[
+            ("kernel", Align::Left),
+            ("ranks", Align::Right),
+            ("wall ms", Align::Right),
+            ("makespan ms", Align::Right),
+            ("msgs", Align::Right),
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.kernel.to_string(),
+            r.nranks.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.3}", r.makespan_ms),
+            r.msgs_sent.to_string(),
+        ]);
+    }
+    t.print();
+
+    // Hand-rolled JSON (no serde in the container): flat schema, one object
+    // per (kernel, scale) point. The checksum is hex so the record pins
+    // bit-identical results across PRs, not just timings.
+    let mut json =
+        String::from("{\n  \"bench\": \"scaling\",\n  \"unit\": \"ms\",\n  \"sched\": \"event\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"nranks\": {}, \"wall_ms\": {:.1}, \"makespan_ms\": {:.3}, \
+             \"msgs_sent\": {}, \"checksum\": \"{:016x}\"}}{}\n",
+            r.kernel,
+            r.nranks,
+            r.wall_ms,
+            r.makespan_ms,
+            r.msgs_sent,
+            r.checksum,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create BENCH_OUT_DIR {dir}: {e}");
+        std::process::exit(1);
+    }
+    let path = std::path::Path::new(&dir).join("BENCH_scaling.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", path.display());
 }

@@ -2,7 +2,8 @@
 //!
 //! The build environment has no route to a crates registry, so the workspace
 //! pins `parking_lot` to this shim, which implements exactly the surface the
-//! codebase uses — `Mutex`, `RwLock`, `Condvar::wait_for` — over `std::sync`.
+//! codebase uses — `Mutex`, `RwLock`, `Condvar::wait`/`wait_for` — over
+//! `std::sync`.
 //! Differences from std that matter here and are reproduced faithfully:
 //! no lock poisoning (a panic while holding a lock does not wedge other
 //! threads), `const fn new` for use in statics, and guard types usable with
@@ -101,6 +102,13 @@ impl Condvar {
     /// Wake all waiters.
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+
+    /// Block on the condvar until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present");
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
     }
 
     /// Block on the condvar until notified or `timeout` elapses.

@@ -33,7 +33,9 @@
 
 use crate::api::{C3Config, C3Ctx, C3Error, Clock, FailureTrigger};
 use crate::failure::{ChaosPlan, FailurePlan};
-use mpisim::{ClusterModel, JobError, JobHandle, JobSpec, NetModel, INJECTED_FAULT_MARKER};
+use mpisim::{
+    ClusterModel, JobError, JobHandle, JobSpec, NetModel, SchedMode, INJECTED_FAULT_MARKER,
+};
 use statesave::CkptStore;
 use std::sync::Arc;
 
@@ -68,6 +70,7 @@ pub struct Job {
     cfg: C3Config,
     cluster: ClusterModel,
     net: NetModel,
+    sched: SchedMode,
     chaos: ChaosPlan,
     restore: bool,
 }
@@ -81,20 +84,22 @@ impl Job {
             cfg,
             cluster: ClusterModel::ideal(),
             net: NetModel::reliable(),
+            sched: SchedMode::default(),
             chaos: ChaosPlan::none(),
             restore: false,
         }
     }
 
     /// Build from an existing substrate [`JobSpec`] (topology + cluster +
-    /// network model). Used by the legacy shims and by harnesses that share
-    /// one spec between raw-substrate baselines and protocol runs.
+    /// network model + scheduler). Used by the legacy shims and by harnesses
+    /// that share one spec between raw-substrate baselines and protocol runs.
     pub fn from_spec(spec: &JobSpec, cfg: C3Config) -> Self {
         Job {
             nranks: spec.nranks,
             cfg,
             cluster: spec.cluster,
             net: spec.net,
+            sched: spec.sched,
             chaos: ChaosPlan::none(),
             restore: false,
         }
@@ -116,6 +121,13 @@ impl Job {
     /// Select the clock backing the timer policy and restart-cost stamps.
     pub fn clock(mut self, c: Clock) -> Self {
         self.cfg.clock = c;
+        self
+    }
+
+    /// Select the rank scheduler (event-driven by default; the
+    /// thread-per-rank oracle pins determinism in equivalence suites).
+    pub fn sched(mut self, s: SchedMode) -> Self {
+        self.sched = s;
         self
     }
 
@@ -157,7 +169,12 @@ impl Job {
     /// The substrate spec this job launches with (shared with raw-substrate
     /// baseline runs so both sides see the identical network).
     pub fn spec(&self) -> JobSpec {
-        JobSpec { nranks: self.nranks, cluster: self.cluster, net: self.effective_net() }
+        JobSpec {
+            nranks: self.nranks,
+            cluster: self.cluster,
+            net: self.effective_net(),
+            sched: self.sched,
+        }
     }
 
     /// One incarnation: launch, wrap every rank in the co-ordination layer

@@ -62,27 +62,59 @@ fn ring_app(ctx: &mut C3Ctx<'_>, iters: u64) -> Result<u64, C3Error> {
     Ok(st.checksum)
 }
 
-/// The deterministic cross-line app: rank 0 checkpoints before its exchange
-/// of each iteration, rank 1 after — forcing late + early messages at the
-/// checkpoint iteration.
+/// The deterministic cross-line app: rank 1 sends its data message (tag 9)
+/// *and then* a sync message (tag 8) each iteration; rank 0 receives the
+/// sync **before** its pragma. At the checkpoint iteration this pins both
+/// message classes causally, under every rank scheduler:
+///
+/// * the data message was sent before the sync, hence before rank 0's
+///   initiating pragma even existed — it provably carries the old epoch —
+///   yet rank 0 receives it after advancing: **late** (logged, replayed);
+/// * rank 0's reply (tag 7, new epoch) reaches rank 1 before rank 1's next
+///   pragma (rank 1's previous pragma happens-before its sync send,
+///   happens-before the initiation): **early** (recorded, suppressed).
+///
+/// Rank 0's pragma sits mid-iteration (after the sync receive), so its
+/// saved state carries an explicit `phase` marking the resume point — the
+/// application-level contract that anything consumed before the line is
+/// folded into the line.
 fn cross_app(ctx: &mut C3Ctx<'_>, iters: u64) -> Result<u64, C3Error> {
-    let mut st = LoopState::restore_or_new(ctx)?;
     let me = ctx.rank();
-    while st.iter < iters {
-        if me == 0 {
-            ctx.pragma(|e| st.save(e))?;
-            ctx.send(1, 7, &[st.iter * 10])?;
-            let (v, _) = ctx.recv::<u64>(1, 9)?;
-            st.absorb(v[0]);
-            st.iter += 1;
-        } else {
+    if me != 0 {
+        let mut st = LoopState::restore_or_new(ctx)?;
+        while st.iter < iters {
             ctx.send(0, 9, &[st.iter * 10 + 1])?;
+            ctx.send(0, 8, &[st.iter * 10 + 2])?;
             let (v, _) = ctx.recv::<u64>(0, 7)?;
             st.absorb(v[0]);
             // State must describe the resume point: this iteration is done.
             st.iter += 1;
             ctx.pragma(|e| st.save(e))?;
         }
+        return Ok(st.checksum);
+    }
+    let (mut st, mut phase) = match ctx.take_restored_state() {
+        Some(b) => {
+            let mut d = Decoder::new(&b);
+            (LoopState { iter: d.u64()?, checksum: d.u64()? }, d.u64()?)
+        }
+        None => (LoopState::default(), 0),
+    };
+    while st.iter < iters {
+        if phase == 0 {
+            let (s, _) = ctx.recv::<u64>(1, 8)?;
+            st.absorb(s[0]);
+            phase = 1;
+        }
+        ctx.pragma(|e| {
+            st.save(e);
+            e.u64(phase);
+        })?;
+        let (v, _) = ctx.recv::<u64>(1, 9)?;
+        st.absorb(v[0]);
+        ctx.send(1, 7, &[st.iter * 10])?;
+        st.iter += 1;
+        phase = 0;
     }
     Ok(st.checksum)
 }

@@ -12,11 +12,6 @@ use crate::request::{ReqId, RequestTable, Status};
 use crate::{CommId, Rank, Tag, COMM_WORLD};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
-
-/// How long a blocked operation sleeps between progress polls. Bounds the
-/// latency of fail-stop (poison) detection.
-const POLL: Duration = Duration::from_micros(200);
 
 /// A rank's handle to the job: the substrate analogue of "the MPI library"
 /// as seen by one process.
@@ -399,6 +394,9 @@ impl RankCtx {
         self.tick_op()?;
         loop {
             self.check_abort()?;
+            // Epoch before progress: a delivery that lands after the check
+            // bumps the epoch and aborts the park (lost-wakeup guard).
+            let seen = self.net.park_epoch(self.rank);
             self.reqs.progress(self.net.mailbox(self.rank));
             match self.reqs.is_done(req) {
                 None => return Err(MpiError::InvalidArg(format!("unknown request {req:?}"))),
@@ -406,10 +404,7 @@ impl RankCtx {
                     let (st, env) = self.reqs.take(req).expect("done request collectable");
                     return Ok(self.finish_view(st, env));
                 }
-                Some(false) => {
-                    self.net.mailbox(self.rank).wait(POLL);
-                    self.net.nudge(self.rank);
-                }
+                Some(false) => self.net.block_on_mailbox(self.rank, seen),
             }
         }
     }
@@ -425,6 +420,7 @@ impl RankCtx {
         self.tick_op()?;
         loop {
             self.check_abort()?;
+            let seen = self.net.park_epoch(self.rank);
             self.reqs.progress(self.net.mailbox(self.rank));
             for (i, r) in reqs.iter().enumerate() {
                 if self.reqs.is_done(*r) == Some(true) {
@@ -433,8 +429,7 @@ impl RankCtx {
                     return Ok((i, st, payload));
                 }
             }
-            self.net.mailbox(self.rank).wait(POLL);
-            self.net.nudge(self.rank);
+            self.net.block_on_mailbox(self.rank, seen);
         }
     }
 
@@ -447,6 +442,7 @@ impl RankCtx {
         self.tick_op()?;
         loop {
             self.check_abort()?;
+            let seen = self.net.park_epoch(self.rank);
             self.reqs.progress(self.net.mailbox(self.rank));
             let mut out = Vec::new();
             for (i, r) in reqs.iter().enumerate() {
@@ -459,8 +455,7 @@ impl RankCtx {
             if !out.is_empty() {
                 return Ok(out);
             }
-            self.net.mailbox(self.rank).wait(POLL);
-            self.net.nudge(self.rank);
+            self.net.block_on_mailbox(self.rank, seen);
         }
     }
 

@@ -43,6 +43,7 @@ pub mod op;
 pub mod payload;
 pub mod pod;
 pub mod request;
+pub mod sched;
 pub mod world;
 
 pub use collective::{fold_into, CollPig};
@@ -61,6 +62,7 @@ pub use op::{
 pub use payload::{BufferPool, Lease, Payload};
 pub use pod::{bytes_of, bytes_of_mut, copy_to_slice, vec_from_bytes, Pod};
 pub use request::{ReqId, Status};
+pub use sched::SchedMode;
 pub use world::{launch, JobError, JobHandle, JobSpec};
 
 /// A process index in the world communicator (`0..nranks`).
@@ -78,6 +80,14 @@ pub const INJECTED_FAULT_MARKER: &str = "injected fail-stop";
 /// mailbox, so no mailbox can ever drain. The job is poisoned with a
 /// diagnosable reason instead of hanging.
 pub const BACKPRESSURE_DEADLOCK_MARKER: &str = "BACKPRESSURE_DEADLOCK";
+
+/// Prefix of the poison reason produced when the event-driven scheduler
+/// proves the job is wedged for a reason *other* than mailbox backpressure:
+/// every live rank is committed-blocked, no withheld envelope remains to
+/// flush, and no rank is parked on credits — i.e. some receive waits for a
+/// message that is never sent. Only the event scheduler can prove this
+/// exactly (thread-per-rank has no global blocked-rank accounting).
+pub const SCHED_DEADLOCK_MARKER: &str = "SCHED_DEADLOCK";
 
 /// A message tag. Non-negative in applications; negative values are reserved
 /// for wildcards and internal use.

@@ -5,6 +5,7 @@ use crate::envelope::Envelope;
 use crate::error::MpiError;
 use crate::mailbox::Mailbox;
 use crate::payload::BufferPool;
+use crate::sched::{Parked, Sched, SchedMode};
 use crate::Rank;
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
@@ -14,26 +15,32 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How long a parked sender sleeps between credit re-checks. Bounds the
-/// latency of poison detection and deadlock discovery while parked.
+/// How long a **thread-mode** blocked rank sleeps between re-checks
+/// (mailbox waits and credit re-checks alike). Bounds the latency of
+/// poison detection and deadlock discovery in the oracle scheduler; the
+/// event scheduler has no poll interval at all — blocked ranks park until
+/// an event wakes them.
 const PARK_POLL: Duration = Duration::from_micros(200);
 
-/// How long a parked sender tolerates **zero network progress** (no
-/// delivery, no claim, no credit grant anywhere in the job) before
-/// declaring the job wedged. The send-cycle walk proves the common
+/// How long a **thread-mode** parked sender tolerates zero network
+/// progress (no delivery, no claim, no credit grant anywhere in the job)
+/// before declaring the job wedged. The send-cycle walk proves the common
 /// deadlock shape exactly, but a bounded buffer can also wedge a program
 /// with no cycle at all — e.g. a rank blocked in a receive whose matching
 /// message is parked behind a mailbox full of messages it is not
 /// receiving. Those shapes are undecidable from the wait-for graph alone
-/// (wildcard receives), so the fallback is observational: while anyone is
-/// parked, *some* envelope must move within this window or the job is
-/// poisoned with a diagnosable reason instead of hanging CI forever.
+/// (wildcard receives), so the thread-mode fallback is observational:
+/// while anyone is parked, *some* envelope must move within this window or
+/// the job is poisoned with a diagnosable reason instead of hanging CI
+/// forever.
 ///
-/// The default (5 s) assumes compute phases far shorter than the window,
-/// which holds for every workload in this repo; a job whose receivers
+/// The event scheduler (the default) does not use this window: its global
+/// blocked-rank accounting detects the no-progress condition *exactly*
+/// ([`Network::on_quiescent`]), so deadlock verdicts are deterministic in
+/// chaos runs regardless of wall-clock load. The window survives only as
+/// the thread-per-rank oracle's fallback; such a job whose receivers
 /// legitimately compute for longer while a sender is parked can widen it
-/// via `C3_BACKPRESSURE_STALL_SECS` (a ROADMAP item tracks replacing the
-/// wall-clock window with a virtual-time one).
+/// via `C3_BACKPRESSURE_STALL_SECS`.
 const PARK_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The stall window, honoring the `C3_BACKPRESSURE_STALL_SECS` override
@@ -307,94 +314,168 @@ struct FaultState {
 
 /// Credit-based flow control for bounded mailboxes (one per job).
 ///
-/// All state lives under **one** mutex: per-destination outstanding-credit
-/// counts, the FIFO queues of parked sender tickets, the park table the
-/// deadlock walk reads, and the set of finished ranks. A single lock is
-/// deliberate — the cycle check sees an exact snapshot (a rank can never
-/// appear parked while it has in fact been granted a credit), which is what
-/// makes a `BACKPRESSURE_DEADLOCK` verdict free of false positives. The
-/// job's rank count is tiny, so contention is irrelevant next to delivery.
+/// State is **sharded per destination rank**: a shard holds that
+/// destination's outstanding-credit count, its FIFO queue of parked sender
+/// tickets, and its done flag — so senders to different destinations never
+/// contend on a shared lock (the old single global mutex serialized every
+/// bounded send in the job, which is what capped the rank counts the
+/// simulator could reach). The park table the deadlock walk reads is
+/// per-source and is written only while holding the shard of the
+/// destination being parked on; the cycle proof re-verifies its candidate
+/// under every member shard held at once, which restores the exact-snapshot
+/// property the single lock used to give for free.
 ///
 /// Invariants:
-/// * `outstanding[d]` counts application envelopes granted a credit toward
-///   destination `d` and not yet claimed by `d` (queued in the mailbox *or*
-///   withheld in the fault/reorder stages — in-flight buffer space either
-///   way).
+/// * `outstanding` (per shard `d`) counts application envelopes granted a
+///   credit toward destination `d` and not yet claimed by `d` (queued in
+///   the mailbox *or* withheld in the fault/reorder stages — in-flight
+///   buffer space either way).
 /// * A credit is released exactly once, when the owning rank claims the
 ///   envelope from its mailbox ([`Backpressure::release`]).
 /// * Parked senders are granted credits strictly in ticket (FIFO) order,
 ///   so wake order — and therefore delivery order — is reproducible.
-/// * `done[d]` marks a rank whose application function has returned; sends
-///   to it complete without credits (nothing will ever drain that mailbox
-///   again, and unbounded fire-and-forget sends at job end must keep
-///   working identically).
+/// * `done` (per shard) marks a rank whose application function has
+///   returned; sends to it complete without credits (nothing will ever
+///   drain that mailbox again, and unbounded fire-and-forget sends at job
+///   end must keep working identically).
+/// * `parked[s] = Some(d)` exactly while rank `s` is on shard `d`'s queue;
+///   both transitions happen under `shards[d]`. Each `parked` entry is a
+///   leaf lock, never held while acquiring any other lock.
 pub(crate) struct Backpressure {
     capacity: usize,
-    state: Mutex<BpState>,
-    cv: Condvar,
-    /// Bumped on every delivery, claim, and credit grant in the job; a
-    /// parked sender watching this stand still for [`PARK_STALL_TIMEOUT`]
-    /// has proof the job is wedged (see the constant's docs).
+    /// Per-destination credit shards.
+    shards: Vec<Mutex<BpShard>>,
+    /// Per-destination condvars for thread-mode parked senders (paired
+    /// with the same-index shard mutex).
+    cvs: Vec<Condvar>,
+    /// `parked[s] = Some(d)` while rank `s` is parked sending to `d`.
+    parked: Vec<Mutex<Option<Rank>>>,
+    /// Global ticket counter (FIFO grant order within each shard queue).
+    next_ticket: AtomicU64,
+    /// Bumped on every claim and credit grant in the job; a thread-mode
+    /// parked sender watching this (plus the network's delivery counter)
+    /// stand still for [`PARK_STALL_TIMEOUT`] has proof the job is wedged.
     progress: AtomicU64,
+    /// Wakes event-mode parked senders (inert in thread mode).
+    sched: Arc<Sched>,
 }
 
-struct BpState {
-    outstanding: Vec<usize>,
-    /// Per-destination FIFO of parked sender tickets.
-    queues: Vec<VecDeque<u64>>,
-    next_ticket: u64,
-    /// `parked_on[r] = Some(d)` while rank `r` is parked sending to `d`.
-    parked_on: Vec<Option<Rank>>,
-    done: Vec<bool>,
+/// One destination's slice of the credit state.
+struct BpShard {
+    outstanding: usize,
+    /// FIFO of parked senders: `(ticket, source rank)`.
+    queue: VecDeque<(u64, Rank)>,
+    done: bool,
 }
 
 impl Backpressure {
-    fn new(nranks: usize, capacity: usize) -> Self {
+    fn new(nranks: usize, capacity: usize, sched: Arc<Sched>) -> Self {
         Backpressure {
             capacity: capacity.max(1),
-            state: Mutex::new(BpState {
-                outstanding: vec![0; nranks],
-                queues: (0..nranks).map(|_| VecDeque::new()).collect(),
-                next_ticket: 0,
-                parked_on: vec![None; nranks],
-                done: vec![false; nranks],
-            }),
-            cv: Condvar::new(),
+            shards: (0..nranks)
+                .map(|_| {
+                    Mutex::new(BpShard { outstanding: 0, queue: VecDeque::new(), done: false })
+                })
+                .collect(),
+            cvs: (0..nranks).map(|_| Condvar::new()).collect(),
+            parked: (0..nranks).map(|_| Mutex::new(None)).collect(),
+            next_ticket: AtomicU64::new(0),
             progress: AtomicU64::new(0),
+            sched,
         }
     }
 
     /// Return the credit held by a claimed application envelope and wake
-    /// parked senders so the freed slot is granted in FIFO order.
+    /// the parked sender at the queue front (FIFO grant order).
     pub(crate) fn release(&self, dst: Rank) {
         self.progress.fetch_add(1, Ordering::Relaxed);
-        let mut st = self.state.lock();
-        st.outstanding[dst] = st.outstanding[dst].saturating_sub(1);
-        if !st.queues[dst].is_empty() {
-            self.cv.notify_all();
+        let sh = &mut *self.shards[dst].lock();
+        sh.outstanding = sh.outstanding.saturating_sub(1);
+        if let Some(&(_, front_src)) = sh.queue.front() {
+            self.cvs[dst].notify_all();
+            self.sched.wake(front_src);
         }
     }
 
-    /// A wait-for cycle through `start`'s park chain, if one exists in this
-    /// snapshot. Every member must be parked on a destination that is at
-    /// capacity and not finished; such a cycle can never drain (credits are
-    /// only released by the owner claiming, and every owner in the cycle is
-    /// blocked in a send), so it is a genuine deadlock, not a stall.
-    fn find_cycle(st: &BpState, start: Rank, capacity: usize) -> Option<Vec<Rank>> {
+    /// Under the held shard lock for `dst`: try to grant `ticket` to `src`
+    /// (queue-front capacity grant or done-rank bypass). On a grant the
+    /// park entry is cleared and the next queued sender is woken.
+    fn try_grant(&self, sh: &mut BpShard, src: Rank, dst: Rank, ticket: u64) -> bool {
+        let at_front = sh.queue.front().map(|(t, _)| *t) == Some(ticket);
+        if !(sh.done || (at_front && sh.outstanding < self.capacity)) {
+            return false;
+        }
+        *self.parked[src].lock() = None;
+        // Strict FIFO: a capacity grant only ever goes to the queue front;
+        // only the done-rank bypass can pull a mid-queue ticket.
+        if at_front {
+            sh.queue.pop_front();
+        } else {
+            sh.queue.retain(|(t, _)| *t != ticket);
+        }
+        if !sh.done {
+            sh.outstanding += 1;
+        }
+        self.progress.fetch_add(1, Ordering::Relaxed);
+        // The next parked ticket may now be at the front.
+        self.cvs[dst].notify_all();
+        if let Some(&(_, next_src)) = sh.queue.front() {
+            self.sched.wake(next_src);
+        }
+        true
+    }
+
+    /// Under the held shard lock for `dst`: abandon `ticket` (poison
+    /// unwind), handing the queue front to the next sender.
+    fn abandon(&self, sh: &mut BpShard, src: Rank, dst: Rank, ticket: u64) {
+        sh.queue.retain(|(t, _)| *t != ticket);
+        *self.parked[src].lock() = None;
+        self.cvs[dst].notify_all();
+        if let Some(&(_, next_src)) = sh.queue.front() {
+            self.sched.wake(next_src);
+        }
+    }
+
+    /// A wait-for cycle through `start`'s park chain, if one provably
+    /// exists. Phase 1 walks the park table optimistically, taking each
+    /// shard lock only momentarily; phase 2 re-verifies the candidate with
+    /// **every member shard held at once** (ascending rank order, so
+    /// concurrent proofs cannot deadlock each other). The proof is sound
+    /// because a rank only transitions its `parked` entry while holding the
+    /// shard it parks on: with all member shards held the snapshot is
+    /// consistent, so every member is truly blocked sending to the next
+    /// member's full, unfinished mailbox — a cycle that can never drain
+    /// (credits are only released by the owner claiming, and every owner in
+    /// the cycle is blocked in a send). Callers must hold no shard lock.
+    fn find_cycle(&self, start: Rank) -> Option<Vec<Rank>> {
         let mut chain = vec![start];
         let mut cur = start;
-        loop {
-            let dst = st.parked_on[cur]?;
-            if st.outstanding[dst] < capacity || st.done[dst] {
-                // That destination will grant a credit shortly; no cycle.
-                return None;
+        let cycle = loop {
+            let dst = (*self.parked[cur].lock())?;
+            {
+                let sh = self.shards[dst].lock();
+                if sh.outstanding < self.capacity || sh.done {
+                    // That destination will grant a credit shortly; no cycle.
+                    return None;
+                }
             }
             if let Some(pos) = chain.iter().position(|r| *r == dst) {
-                return Some(chain.split_off(pos));
+                break chain.split_off(pos);
             }
             chain.push(dst);
             cur = dst;
-        }
+        };
+        let mut members = cycle.clone();
+        members.sort_unstable();
+        members.dedup();
+        let guards: Vec<_> = members.iter().map(|r| self.shards[*r].lock()).collect();
+        let confirmed = cycle.iter().enumerate().all(|(i, &src)| {
+            let dst = cycle[(i + 1) % cycle.len()];
+            let sh = &guards[members.binary_search(&dst).expect("cycle member")];
+            sh.outstanding >= self.capacity && !sh.done && *self.parked[src].lock() == Some(dst)
+        });
+        drop(guards);
+        confirmed.then_some(cycle)
     }
 }
 
@@ -416,10 +497,19 @@ pub struct Network {
     fault_state: Vec<Mutex<FaultState>>,
     /// Per-destination duplicate filters, indexed by source rank. A separate
     /// lock, acquired strictly after `fault_state`/`reorder_state`, because
-    /// final delivery runs nested inside both stages.
-    dedup_state: Vec<Mutex<Vec<DedupWindow>>>,
+    /// final delivery runs nested inside both stages. Allocated only when
+    /// the duplication fault is active: the table is O(nranks²) and would
+    /// dominate memory at 4096 ranks for jobs that never duplicate.
+    dedup_state: Option<Vec<Mutex<Vec<DedupWindow>>>>,
     /// Bounded-mailbox flow control (`NetModel::mailbox_capacity`).
     backpressure: Option<Arc<Backpressure>>,
+    /// The job's rank scheduler: parks and wakes blocked ranks in event
+    /// mode, inert in thread-per-rank mode.
+    sched: Arc<Sched>,
+    /// Bumped on every actual mailbox delivery; together with
+    /// `Backpressure::progress` it answers "did anything move?" for both
+    /// deadlock watchdogs.
+    progress: AtomicU64,
     poisoned: AtomicBool,
     poison_reason: Mutex<Option<String>>,
     /// The world's shared send-buffer pool (see [`BufferPool`]).
@@ -440,8 +530,22 @@ pub struct Network {
 }
 
 impl Network {
-    /// Create a network for `nranks` ranks.
+    /// Create a network for `nranks` ranks with the inert thread-per-rank
+    /// scheduler (blocking ranks poll). [`crate::world::launch`] uses
+    /// [`Network::new_with_sched`] to honor the job's scheduler choice.
     pub fn new(nranks: usize, cluster: ClusterModel, model: NetModel) -> Self {
+        Network::new_with_sched(nranks, cluster, model, SchedMode::ThreadPerRank)
+    }
+
+    /// Create a network whose blocking points are managed by `mode`'s
+    /// scheduler.
+    pub fn new_with_sched(
+        nranks: usize,
+        cluster: ClusterModel,
+        model: NetModel,
+        mode: SchedMode,
+    ) -> Self {
+        let sched = Arc::new(Sched::new(mode, nranks));
         let reorder_state = (0..nranks)
             .map(|dst| {
                 Mutex::new(ReorderState {
@@ -456,11 +560,14 @@ impl Network {
             })
             .collect();
         let fault_state = (0..nranks).map(|_| Mutex::new(FaultState::default())).collect();
-        let dedup_state = (0..nranks)
-            .map(|_| Mutex::new((0..nranks).map(|_| DedupWindow::default()).collect()))
-            .collect();
-        let backpressure =
-            model.mailbox_capacity.map(|cap| Arc::new(Backpressure::new(nranks, cap)));
+        let dedup_state = (model.dup_permille > 0).then(|| {
+            (0..nranks)
+                .map(|_| Mutex::new((0..nranks).map(|_| DedupWindow::default()).collect()))
+                .collect()
+        });
+        let backpressure = model
+            .mailbox_capacity
+            .map(|cap| Arc::new(Backpressure::new(nranks, cap, Arc::clone(&sched))));
         Network {
             mailboxes: (0..nranks)
                 .map(|dst| match &backpressure {
@@ -474,6 +581,8 @@ impl Network {
             fault_state,
             dedup_state,
             backpressure,
+            sched,
+            progress: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             poison_reason: Mutex::new(None),
             pool: BufferPool::new(),
@@ -532,54 +641,60 @@ impl Network {
     /// flow control; see [`Backpressure`]). FIFO: a parked sender is granted
     /// the next freed slot strictly in park order.
     fn acquire_credit(&self, bp: &Backpressure, src: Rank, dst: Rank) -> Result<(), MpiError> {
-        let mut st = bp.state.lock();
-        if st.done[dst] {
-            return Ok(());
-        }
-        if st.queues[dst].is_empty() && st.outstanding[dst] < bp.capacity {
-            st.outstanding[dst] += 1;
-            return Ok(());
-        }
-        let ticket = st.next_ticket;
-        st.next_ticket += 1;
-        st.queues[dst].push_back(ticket);
-        st.parked_on[src] = Some(dst);
-        self.sends_parked.fetch_add(1, Ordering::Relaxed);
-        let mut last_progress = bp.progress.load(Ordering::Relaxed);
-        let mut stall_since = std::time::Instant::now();
-        loop {
-            if self.is_poisoned() {
-                st.parked_on[src] = None;
-                st.queues[dst].retain(|t| *t != ticket);
-                bp.cv.notify_all();
-                return Err(MpiError::Aborted);
-            }
-            if st.done[dst]
-                || (st.queues[dst].front() == Some(&ticket) && st.outstanding[dst] < bp.capacity)
-            {
-                st.parked_on[src] = None;
-                // Strict FIFO: a capacity grant only ever goes to the queue
-                // front; only the done-rank bypass can pull a mid-queue
-                // ticket.
-                if st.queues[dst].front() == Some(&ticket) {
-                    st.queues[dst].pop_front();
-                } else {
-                    st.queues[dst].retain(|t| *t != ticket);
-                }
-                if !st.done[dst] {
-                    st.outstanding[dst] += 1;
-                }
-                bp.progress.fetch_add(1, Ordering::Relaxed);
-                // The next parked ticket may now be at the front.
-                bp.cv.notify_all();
+        let ticket = {
+            let mut sh = bp.shards[dst].lock();
+            if sh.done {
                 return Ok(());
             }
-            let progress = bp.progress.load(Ordering::Relaxed);
+            if sh.queue.is_empty() && sh.outstanding < bp.capacity {
+                sh.outstanding += 1;
+                return Ok(());
+            }
+            let ticket = bp.next_ticket.fetch_add(1, Ordering::Relaxed);
+            sh.queue.push_back((ticket, src));
+            *bp.parked[src].lock() = Some(dst);
+            ticket
+        };
+        self.sends_parked.fetch_add(1, Ordering::Relaxed);
+        if self.sched.is_event() {
+            self.acquire_parked_event(bp, src, dst, ticket)
+        } else {
+            self.acquire_parked_threads(bp, src, dst, ticket)
+        }
+    }
+
+    /// Thread-mode slow path: poll-with-timeout on the destination shard's
+    /// condvar. The oracle scheduler has no global blocked-rank accounting,
+    /// so its stall signal is wall-clock: poison after
+    /// [`PARK_STALL_TIMEOUT`] of zero network progress, or as soon as the
+    /// cycle walk proves a send cycle.
+    fn acquire_parked_threads(
+        &self,
+        bp: &Backpressure,
+        src: Rank,
+        dst: Rank,
+        ticket: u64,
+    ) -> Result<(), MpiError> {
+        let mut last_progress = self.total_progress();
+        let mut stall_since = std::time::Instant::now();
+        loop {
+            {
+                let mut sh = bp.shards[dst].lock();
+                if self.is_poisoned() {
+                    bp.abandon(&mut sh, src, dst, ticket);
+                    return Err(MpiError::Aborted);
+                }
+                if bp.try_grant(&mut sh, src, dst, ticket) {
+                    return Ok(());
+                }
+            }
+            // Watchdogs run with no shard lock held (the cycle proof takes
+            // shard locks itself).
+            let progress = self.total_progress();
             if progress != last_progress {
                 last_progress = progress;
                 stall_since = std::time::Instant::now();
             } else if stall_since.elapsed() >= park_stall_timeout() {
-                drop(st);
                 self.poison(&format!(
                     "{}: rank {src} parked sending to rank {dst} while no message moved \
                      anywhere in the job for {:?} — a receive is most likely blocked on a \
@@ -590,41 +705,175 @@ impl Network {
                     park_stall_timeout(),
                     bp.capacity
                 ));
-                st = bp.state.lock();
                 continue;
             }
-            if let Some(cycle) = Backpressure::find_cycle(&st, src, bp.capacity) {
-                let path = cycle
-                    .iter()
-                    .chain(cycle.first())
-                    .map(|r| format!("rank {r}"))
-                    .collect::<Vec<_>>()
-                    .join(" -> ");
-                drop(st);
+            if let Some(cycle) = bp.find_cycle(src) {
+                self.poison_cycle(&cycle, bp.capacity);
+                continue;
+            }
+            let mut sh = bp.shards[dst].lock();
+            bp.cvs[dst].wait_for(&mut sh, PARK_POLL);
+        }
+    }
+
+    /// Event-mode slow path: park on the scheduler instead of polling.
+    /// Every event that could grant this ticket — a credit release on the
+    /// destination, a done mark, poison — wakes `src`; a park that would
+    /// leave every live rank blocked runs the deadlock detective instead
+    /// ([`Network::on_quiescent`]), so verdicts need no wall-clock window.
+    fn acquire_parked_event(
+        &self,
+        bp: &Backpressure,
+        src: Rank,
+        dst: Rank,
+        ticket: u64,
+    ) -> Result<(), MpiError> {
+        loop {
+            let seen = self.sched.epoch(src);
+            {
+                let mut sh = bp.shards[dst].lock();
+                if self.is_poisoned() {
+                    bp.abandon(&mut sh, src, dst, ticket);
+                    return Err(MpiError::Aborted);
+                }
+                if bp.try_grant(&mut sh, src, dst, ticket) {
+                    return Ok(());
+                }
+            }
+            if let Parked::Quiescent = self.sched.park(src, seen) {
+                self.on_quiescent();
+            }
+        }
+    }
+
+    /// Poison with the send-cycle verdict (both watchdogs share the text).
+    fn poison_cycle(&self, cycle: &[Rank], capacity: usize) {
+        let path = cycle
+            .iter()
+            .chain(cycle.first())
+            .map(|r| format!("rank {r}"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        self.poison(&format!(
+            "{}: send cycle {path} with every mailbox at capacity {capacity} — \
+             each rank is blocked sending to the next, so no mailbox can drain; \
+             the application (or protocol) relies on more buffering than the \
+             configured bound provides",
+            crate::BACKPRESSURE_DEADLOCK_MARKER,
+        ));
+    }
+
+    /// Sum of every progress signal in the job: mailbox deliveries plus
+    /// credit claims/grants. Both deadlock watchdogs compare snapshots of
+    /// this to answer "did anything move?".
+    fn total_progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+            + self.backpressure.as_ref().map_or(0, |bp| bp.progress.load(Ordering::Relaxed))
+    }
+
+    /// The deadlock detective, run at proven global quiescence: every live
+    /// rank is committed-blocked and the caller's park (or rank exit) was
+    /// the last runnable step. In a closed world the only remaining message
+    /// sources are the fault/reorder holding buffers — flush them, and if
+    /// anything moved return (the deliveries woke their receivers).
+    /// Otherwise the job is wedged; diagnose deterministically: a proven
+    /// send cycle, else a sender parked on credits with nothing in flight,
+    /// else a generic missing-send deadlock. No wall clock is involved, so
+    /// chaos-run verdicts are bit-reproducible.
+    pub(crate) fn on_quiescent(&self) {
+        if self.is_poisoned() {
+            return; // the poison wake is already propagating
+        }
+        let before = self.total_progress();
+        self.flush_reorder();
+        if self.total_progress() != before {
+            return; // something was in flight after all; its wakes resume the job
+        }
+        if let Some(bp) = &self.backpressure {
+            let parked: Vec<(Rank, Rank)> =
+                (0..self.nranks()).filter_map(|r| bp.parked[r].lock().map(|d| (r, d))).collect();
+            for &(src, _) in &parked {
+                if let Some(cycle) = bp.find_cycle(src) {
+                    self.poison_cycle(&cycle, bp.capacity);
+                    return;
+                }
+            }
+            if let Some(&(src, dst)) = parked.first() {
                 self.poison(&format!(
-                    "{}: send cycle {path} with every mailbox at capacity {} — \
-                     each rank is blocked sending to the next, so no mailbox can drain; \
-                     the application (or protocol) relies on more buffering than the \
-                     configured bound provides",
+                    "{}: job quiescent with rank {src} parked sending to rank {dst} and \
+                     no message in flight — a receive is blocked on a message that can \
+                     never arrive; the application (or protocol) relies on more buffering \
+                     than mailbox capacity {} provides",
                     crate::BACKPRESSURE_DEADLOCK_MARKER,
                     bp.capacity
                 ));
-                st = bp.state.lock();
-                continue;
+                return;
             }
-            bp.cv.wait_for(&mut st, PARK_POLL);
         }
+        self.poison(&format!(
+            "{}: every live rank is blocked with no message in flight and no sender \
+             parked on credits — some receive waits for a message that is never sent",
+            crate::SCHED_DEADLOCK_MARKER
+        ));
     }
 
     /// Mark `rank`'s application function as returned: its mailbox will
     /// never be drained again, so pending and future sends toward it
     /// complete without credits (matching unbounded fire-and-forget
-    /// semantics during job wind-down).
+    /// semantics during job wind-down). In event mode the exit also hands
+    /// the scheduler its live-rank accounting — if every remaining rank is
+    /// blocked, the exiting rank was their last possible waker and the
+    /// deadlock detective must run now.
     pub fn rank_done(&self, rank: Rank) {
         if let Some(bp) = &self.backpressure {
-            let mut st = bp.state.lock();
-            st.done[rank] = true;
-            bp.cv.notify_all();
+            let waiters: Vec<Rank> = {
+                let mut sh = bp.shards[rank].lock();
+                sh.done = true;
+                bp.cvs[rank].notify_all();
+                sh.queue.iter().map(|(_, s)| *s).collect()
+            };
+            for s in waiters {
+                self.sched.wake(s);
+            }
+        }
+        if self.sched.rank_exit() {
+            self.on_quiescent();
+        }
+    }
+
+    /// The job's scheduler (worker-gate entry/exit for rank carriers).
+    pub(crate) fn sched(&self) -> &Sched {
+        &self.sched
+    }
+
+    /// The calling rank's wake epoch: sample *before* re-checking a
+    /// blocking condition, then pass to [`Network::block_on_mailbox`]
+    /// (the lost-wakeup guard in event mode; always 0 in thread mode).
+    pub(crate) fn park_epoch(&self, rank: Rank) -> u64 {
+        self.sched.epoch(rank)
+    }
+
+    /// Block `rank` until new mailbox activity is possible.
+    ///
+    /// Thread mode: a [`PARK_POLL`] timed wait on the mailbox condvar plus
+    /// a nudge — the original polling scheme, byte-for-byte. Event mode:
+    /// flush envelopes the fault/reorder models withhold for this rank
+    /// first (withheld envelopes produce no wake; if the flush delivers
+    /// anything the rank's own epoch moves and the park aborts), then park
+    /// until a delivery, credit event, or poison wakes the rank. A park
+    /// that would leave every live rank blocked runs the deadlock detective
+    /// instead of sleeping.
+    pub(crate) fn block_on_mailbox(&self, rank: Rank, seen: u64) {
+        if self.sched.is_event() {
+            if self.model.has_faults() || !matches!(self.model.reorder, ReorderModel::None) {
+                self.nudge(rank);
+            }
+            if let Parked::Quiescent = self.sched.park(rank, seen) {
+                self.on_quiescent();
+            }
+        } else {
+            self.mailboxes[rank].wait(PARK_POLL);
+            self.nudge(rank);
         }
     }
 
@@ -756,14 +1005,19 @@ impl Network {
         if let Some(bp) = &self.backpressure {
             bp.progress.fetch_add(1, Ordering::Relaxed);
         }
-        if self.model.dup_permille > 0 {
-            let mut windows = self.dedup_state[env.dst].lock();
+        if let Some(dedup) = &self.dedup_state {
+            let mut windows = dedup[env.dst].lock();
             if windows[env.src].seen_before(env.seq) {
                 self.dups_suppressed.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
-        self.mailboxes[env.dst].deliver(env);
+        let dst = env.dst;
+        self.mailboxes[dst].deliver(env);
+        // Progress before wake: a woken rank must observe both the message
+        // and the moved counter.
+        self.progress.fetch_add(1, Ordering::Relaxed);
+        self.sched.wake(dst);
     }
 
     /// Flush envelopes withheld by the fault and reordering models for
@@ -805,10 +1059,14 @@ impl Network {
         for mb in &self.mailboxes {
             mb.interrupt();
         }
-        // Parked senders re-check the poison flag on wake.
+        // Parked senders and parked (event-mode) ranks re-check the poison
+        // flag on wake.
         if let Some(bp) = &self.backpressure {
-            bp.cv.notify_all();
+            for cv in &bp.cvs {
+                cv.notify_all();
+            }
         }
+        self.sched.wake_all();
     }
 
     /// Has the job been poisoned?

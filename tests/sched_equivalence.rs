@@ -1,0 +1,167 @@
+//! Scheduler equivalence: the event-driven rank scheduler must be
+//! observationally identical to the thread-per-rank oracle.
+//!
+//! The per-rank op clock ticks at exactly the points where a rank can block
+//! (send, posted receive, wait, collective entry) and never on polling, so
+//! it is a pure function of the rank's call sequence — scheduler choice
+//! must not move it. These suites pin that invariant end to end, 32 seeds
+//! per network model (reliable, reorder+drop+dup, tight bounded mailboxes),
+//! protocol layer included:
+//!
+//! * **failure-free runs** (checkpoint rounds active, no fail-stop): the
+//!   per-rank results *and* final op clocks are bit-identical between the
+//!   thread oracle and the event scheduler — the call sequence is fully
+//!   application-determined, so any scheduler-induced drift would surface
+//!   here as a clock divergence;
+//! * **fail-stop chaos runs** (seeded multi-fault [`ChaosPlan`]s): both
+//!   schedulers recover to results bit-identical to each other and to the
+//!   failure-free baseline. Final op clocks and committed-line
+//!   progressions are *not* compared across chaos runs: which round has
+//!   committed when an asynchronous fault tears the job down — and hence
+//!   how many receives the restarted incarnation serves from the replay
+//!   log without posting a substrate op — is interleaving-dependent under
+//!   *both* schedulers (the thread oracle itself produces different line
+//!   progressions across identical invocations), so the recovered result
+//!   is the strongest chaos-side observable that is deterministic at all;
+//! * raw substrate: an NPB kernel's results and op clocks are bit-identical
+//!   across the oracle and event scheduling at several worker counts.
+//!
+//! The sweeps compare explicit `.sched(...)` selections, so they assume
+//! `C3_SCHED` is unset (the env override deliberately wins over the spec;
+//! CI never sets it).
+
+mod util;
+
+use c3::{C3Config, C3Ctx, C3Error, ChaosPlan, ChaosSpace, CkptPolicy, Clock, Job};
+use mpisim::{JobSpec, NetModel, SchedMode};
+use statesave::codec::{Decoder, Encoder};
+use util::TempStore;
+
+const NRANKS: usize = 3;
+const ITERS: u64 = 10;
+const SEEDS: u64 = 32;
+const EVENT: SchedMode = SchedMode::EventDriven { workers: 0 };
+
+/// The chaos ring workload (the `chaos_soak` smoke workload): checkpoint
+/// every third pragma, pass a token around the ring, fold into a checksum.
+/// Returns the checksum and the rank's final op clock.
+fn ring(ctx: &mut C3Ctx<'_>, iters: u64) -> Result<(u64, u64), C3Error> {
+    let (mut iter, mut acc) = match ctx.take_restored_state() {
+        Some(b) => {
+            let mut d = Decoder::new(&b);
+            (d.u64()?, d.u64()?)
+        }
+        None => (0, 0),
+    };
+    let me = ctx.rank();
+    let n = ctx.nranks();
+    while iter < iters {
+        ctx.pragma(|e: &mut Encoder| {
+            e.u64(iter);
+            e.u64(acc);
+        })?;
+        ctx.send((me + 1) % n, 5, &[iter * 31 + me as u64])?;
+        let (v, _) = ctx.recv::<u64>(((me + n - 1) % n) as i32, 5)?;
+        acc = acc.wrapping_mul(0x100000001b3).wrapping_add(v[0]);
+        iter += 1;
+    }
+    Ok((acc, ctx.mpi().op_clock()))
+}
+
+fn chaos_cfg(store: &TempStore) -> C3Config {
+    C3Config {
+        store_root: store.path().to_path_buf(),
+        write_disk: true,
+        policy: CkptPolicy::EveryNth(3),
+        initiator: None,
+        clock: Clock::Wall,
+    }
+}
+
+/// One protocol run of the ring under `sched`, with an optional seeded
+/// chaos plan. Returns per-rank `(checksum, final op clock)`.
+fn run_ring(
+    seed: u64,
+    net: NetModel,
+    sched: SchedMode,
+    plan: Option<ChaosPlan>,
+    tag: &str,
+) -> Vec<(u64, u64)> {
+    let store = TempStore::new(&format!("sched-eq-{tag}-{seed}"));
+    let rec = Job::new(NRANKS, chaos_cfg(&store))
+        .network(net)
+        .sched(sched)
+        .chaos(plan.clone().unwrap_or_else(ChaosPlan::none))
+        .run(|ctx| ring(ctx, ITERS))
+        .unwrap_or_else(|e| panic!("seed {seed} plan {plan:?} under {sched:?}: {e}"));
+    rec.handle.results.clone()
+}
+
+/// The full sweep for one network family: per seed, (a) failure-free runs
+/// must match bit-for-bit *including op clocks* across schedulers, and
+/// (b) seeded chaos runs under both schedulers must recover to that same
+/// failure-free result.
+fn sweep(tag: &str, net_for_seed: impl Fn(u64) -> NetModel) {
+    let space = ChaosSpace { nranks: NRANKS, max_pragma: ITERS, max_op: 80 };
+    let mut divergences = 0u32;
+    for seed in 0..SEEDS {
+        let net = net_for_seed(seed);
+        let oracle = run_ring(seed, net, SchedMode::ThreadPerRank, None, tag);
+        let event = run_ring(seed, net, EVENT, None, tag);
+        if event != oracle {
+            eprintln!("seed {seed} ({tag}): failure-free op-clock trace diverged");
+            eprintln!("  threads: {oracle:?}\n  event:   {event:?}");
+            divergences += 1;
+        }
+        let plan = ChaosPlan::from_seed(seed, &space);
+        let baseline: Vec<u64> = oracle.iter().map(|(acc, _)| *acc).collect();
+        for sched in [SchedMode::ThreadPerRank, EVENT] {
+            let got: Vec<u64> = run_ring(seed, net, sched, Some(plan.clone()), tag)
+                .iter()
+                .map(|(acc, _)| *acc)
+                .collect();
+            if got != baseline {
+                eprintln!("seed {seed} ({tag}): chaos recovery under {sched:?} diverged");
+                divergences += 1;
+            }
+        }
+    }
+    assert_eq!(divergences, 0, "{tag}: {divergences} divergences across {SEEDS} seeds");
+}
+
+#[test]
+fn sweep_reliable_network() {
+    sweep("rel", |seed| NetModel::reliable().seed(seed));
+}
+
+#[test]
+fn sweep_reorder_drop_duplicate() {
+    sweep("fault", |seed| NetModel::reorder(seed).drop_rate(15).duplicate_rate(10));
+}
+
+#[test]
+fn sweep_tight_mailboxes() {
+    sweep("tight", |seed| NetModel::reliable().seed(seed).mailbox_capacity(2 * NRANKS));
+}
+
+/// Raw substrate (no protocol layer): an NPB CG solve's results and final
+/// op clocks are bit-identical across the thread oracle and the event
+/// scheduler at several worker-pool widths.
+#[test]
+fn raw_substrate_op_clocks_match_across_schedulers_and_worker_counts() {
+    let run = |sched: SchedMode| -> Vec<(u64, u64)> {
+        let spec = JobSpec::new(4).sched(sched);
+        let cfg = npb::cg::CgConfig { n: 64, iters: 6 };
+        let out = mpisim::launch(&spec, |ctx| {
+            let r = npb::cg::run(ctx, &cfg)?;
+            Ok((r.to_bits(), ctx.op_clock()))
+        })
+        .unwrap_or_else(|e| panic!("cg under {sched:?}: {e}"));
+        out.results
+    };
+    let oracle = run(SchedMode::ThreadPerRank);
+    for workers in [0, 1, 2, 4] {
+        let got = run(SchedMode::EventDriven { workers });
+        assert_eq!(got, oracle, "event scheduler with {workers} workers diverged on cg");
+    }
+}
