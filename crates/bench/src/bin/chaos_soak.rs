@@ -452,8 +452,12 @@ fn main() {
             }
         };
         let min = shrink_plan(&r.plan, still_fails);
+        let why = match &r.outcome {
+            Ok(_) => "diverged from baseline".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
         println!(
-            "FAIL {} [{}] seed {}: plan {} shrank to minimal reproduction {}",
+            "FAIL {} [{}] seed {}: plan {} shrank to minimal reproduction {} ({why})",
             k.name,
             r.net.name(),
             r.seed,

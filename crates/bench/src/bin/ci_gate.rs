@@ -21,9 +21,10 @@
 //!    `BENCH_message_path.json` / `BENCH_scaling.json` parse and carry the
 //!    expected schema keys
 //! 9. message-path ratchet: each fresh `ns_per_op` must stay within a
-//!    tolerance factor of the committed baseline (default 3×, a
-//!    catastrophic-regression gate that tolerates shared-runner noise;
-//!    override with `C3_PERF_RATCHET_FACTOR`)
+//!    per-entry tolerance factor of the committed baseline (2× for the
+//!    stable µs-scale scenarios, 3× for the noise-prone ns-scale ones;
+//!    `C3_PERF_RATCHET_FACTOR` overrides all of them), and every committed
+//!    scenario must be present in the fresh run
 //! 10. `recovery_trend` — restart-cost percentiles vs the copy committed at
 //!     `HEAD` (informational report; parse failures gate, noise does not)
 //!
@@ -156,18 +157,34 @@ fn parse_message_path(body: &str) -> Vec<(String, f64)> {
     rows
 }
 
+/// Per-entry ratchet tolerance. The µs-scale scenarios (ping-pong
+/// round-trips, fan-out) average thousands of ns over whole reps, so
+/// runner noise is proportionally small and a 2× budget already means a
+/// real structural regression — an accidental copy on the zero-copy path,
+/// a lock pushed into the per-message fast path. The ns-scale mailbox
+/// micro-claims and the sub-µs shared-payload fan-out sit close to timer
+/// and cache-state noise, so they keep the wider 3× catastrophic-only
+/// budget.
+fn ratchet_factor_for(name: &str) -> f64 {
+    match name {
+        "ping_pong/copying" | "ping_pong/zero_copy" | "fan_out/copy_per_destination" => 2.0,
+        _ => 3.0,
+    }
+}
+
 /// The message-path perf ratchet: every scenario in the committed
 /// `BENCH_message_path.json` must still exist in the fresh run and must
-/// not exceed `committed × factor` ns/op. The default factor (3×) gates
-/// catastrophic regressions — an accidental copy on the zero-copy path, a
-/// lock pushed into the per-message fast path — while tolerating the
-/// wall-clock noise of shared CI runners.
+/// not exceed `committed × factor` ns/op, with the factor chosen
+/// per entry ([`ratchet_factor_for`]) so the stable µs-scale scenarios are
+/// held to a tighter budget than the noise-prone ns-scale ones.
+/// `C3_PERF_RATCHET_FACTOR` overrides every per-entry factor (an escape
+/// hatch for exceptionally noisy runners). A scenario present in the
+/// committed baseline but missing from the fresh run fails the gate — a
+/// silently dropped benchmark is a regression in coverage, not noise.
 fn check_message_path_ratchet(out_dir: &std::path::Path, results: &mut Vec<Step>) {
     println!("\n=== ci_gate: message_path ratchet ===");
-    let factor = std::env::var("C3_PERF_RATCHET_FACTOR")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(3.0);
+    let global_override =
+        std::env::var("C3_PERF_RATCHET_FACTOR").ok().and_then(|v| v.parse::<f64>().ok());
     let fresh_path = out_dir.join("BENCH_message_path.json");
     let mut ok = true;
     match (std::fs::read_to_string("BENCH_message_path.json"), std::fs::read_to_string(&fresh_path))
@@ -180,6 +197,7 @@ fn check_message_path_ratchet(out_dir: &std::path::Path, results: &mut Vec<Step>
                 ok = false;
             }
             for (name, base_ns) in &baseline {
+                let factor = global_override.unwrap_or_else(|| ratchet_factor_for(name));
                 match current.iter().find(|(n, _)| n == name) {
                     Some((_, cur_ns)) => {
                         let ratio = cur_ns / base_ns;

@@ -166,7 +166,10 @@ impl RankCtx {
     }
 
     /// Send an owned buffer: ownership transfers into the substrate with
-    /// zero copies.
+    /// zero copies. The buffer is attached to the world's pool (it recycles
+    /// when the last reference drops) and the payload header comes from the
+    /// pool's shell freelist, so a steady-state `send_owned`/`recv_bytes`
+    /// loop touches the allocator not at all.
     pub fn send_owned(
         &mut self,
         dst: Rank,
@@ -175,7 +178,8 @@ impl RankCtx {
         piggyback: u8,
         payload: Vec<u8>,
     ) -> Result<()> {
-        self.send_payload(dst, tag, comm, piggyback, Payload::from_vec(payload))
+        let p = self.net.pool().payload_from_vec(payload);
+        self.send_payload(dst, tag, comm, piggyback, p)
     }
 
     /// Send a [`Payload`] view: the zero-copy primitive every other send

@@ -19,6 +19,18 @@ pub struct Signature {
     pub comm: CommId,
 }
 
+impl Signature {
+    /// Does this signature match a receive posted with the given (possibly
+    /// wildcard) source and tag on `comm`? The single definition of MPI
+    /// matching; [`Envelope::matches`] and the mailbox index delegate here.
+    #[inline]
+    pub fn matches(&self, src: i32, tag: Tag, comm: CommId) -> bool {
+        self.comm == comm
+            && (src == crate::ANY_SOURCE || self.src == src as Rank)
+            && (tag == crate::ANY_TAG || self.tag == tag)
+    }
+}
+
 /// A message in flight or in a mailbox.
 ///
 /// Cloning an envelope is cheap: the payload is a ref-counted view, so a
@@ -59,9 +71,7 @@ impl Envelope {
     /// wildcard) source and tag on `comm`?
     #[inline]
     pub fn matches(&self, src: i32, tag: Tag, comm: CommId) -> bool {
-        self.comm == comm
-            && (src == crate::ANY_SOURCE || self.src == src as Rank)
-            && (tag == crate::ANY_TAG || self.tag == tag)
+        self.signature().matches(src, tag, comm)
     }
 }
 

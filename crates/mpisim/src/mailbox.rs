@@ -1,4 +1,5 @@
-//! Per-rank mailboxes: signature-indexed arrival queues with MPI matching.
+//! Per-rank mailboxes: signature-indexed arrival queues with MPI matching,
+//! plus dedicated lanes for hot signatures.
 //!
 //! Each rank owns one mailbox. Senders push envelopes (possibly through the
 //! network's reordering model); the owning rank matches them against posted
@@ -12,9 +13,36 @@
 //!   *fronts* in ascending arrival order (a `BTreeMap` keyed by each front's
 //!   arrival stamp) and claims the first match — the first matching message
 //!   in true arrival order, exactly what the old linear scan returned, but
-//!   stopping at the first hit instead of scanning O(#queued messages). A
-//!   full wildcard on an active communicator typically terminates at the
-//!   very first front.
+//!   stopping at the first hit instead of scanning O(#queued messages).
+//!
+//! # Lanes: the lock-reduced hot path
+//!
+//! A signature that keeps being claimed exactly (no wildcards) is the
+//! steady-state shape of every point-to-point loop in the NPB kernels. After
+//! [`PROMOTE_AFTER`] consecutive exact claims of one signature the mailbox
+//! *promotes* it to a [`Lane`]: a dedicated queue with its own lock, so the
+//! delivering sender no longer contends on the main shelf mutex or touches
+//! the front index at all. Promotion and demotion are decided purely by the
+//! receiver's claim sequence — never by timing — so a failure-free run makes
+//! identical lane decisions under every scheduler.
+//!
+//! Correctness rests on one invariant: **a signature's envelopes may be
+//! split between its shelf queue and its lane, each internally in arrival
+//! order, and every claim takes the smaller front stamp of the two.** Stamps
+//! come from one shared atomic counter, so the split is totally ordered:
+//! promotion stragglers still in the shelf drain first, and a demoted lane
+//! keeps draining through claims (producers just stop feeding it). Wildcard
+//! claims compute their minimum over the shelf front index *and* every lane
+//! front, which preserves exact global arrival order; a wildcard claim that
+//! touches a promoted signature demotes its lane (wildcard traffic needs the
+//! global index anyway).
+//!
+//! The producer side of a lane is single-writer by construction: a
+//! signature names its source rank, and on the reliable path only that
+//! rank's carrier thread delivers it; on the fault/reorder paths all
+//! deliveries to a destination serialize under the per-destination
+//! fault/reorder stage locks. The lane's own mutex makes the structure safe
+//! even if a caller outside the network breaks that discipline.
 //!
 //! Together with the posted-order scan in the request engine this reproduces
 //! MPI's matching rules.
@@ -22,11 +50,24 @@
 use crate::envelope::{Envelope, Signature};
 use crate::network::Backpressure;
 use crate::{CommId, Rank, Tag, ANY_SOURCE, ANY_TAG};
-use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::collections::hash_map::Entry;
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Consecutive exact claims of one signature before it gets a lane.
+pub const PROMOTE_AFTER: u32 = 8;
+/// Promotion threshold meaning "never promote" (lanes disabled).
+pub const LANES_OFF: u32 = u32::MAX;
+/// Maximum lanes per mailbox. Lanes are never removed (claims must keep
+/// seeing demoted lanes until they drain); the cap bounds the per-delivery
+/// lane scan.
+const MAX_LANES: usize = 8;
+/// Emptied per-signature shelf queues retained (capacity and all) instead
+/// of freed, so steady-state deliver/claim cycles stop churning the
+/// allocator. Beyond this many idle queues, emptied ones are freed again.
+const RETAINED_EMPTY_QUEUES: usize = 64;
 
 #[derive(Debug)]
 struct Stamped {
@@ -34,96 +75,171 @@ struct Stamped {
     env: Envelope,
 }
 
-/// The state under the mailbox lock.
+/// A promoted signature's dedicated queue. The `front` stamp is mirrored
+/// into an atomic so claims can compare lane fronts against the shelf front
+/// index without taking the lane lock.
+#[derive(Debug)]
+struct Lane {
+    sig: Signature,
+    q: Mutex<VecDeque<Stamped>>,
+    /// Arrival stamp of the front entry; `u64::MAX` when empty.
+    front: AtomicU64,
+    /// Producers deliver here only while set; claims drain regardless.
+    active: AtomicBool,
+}
+
+impl Lane {
+    fn new(sig: Signature) -> Arc<Lane> {
+        Arc::new(Lane {
+            sig,
+            q: Mutex::new(VecDeque::new()),
+            front: AtomicU64::new(u64::MAX),
+            active: AtomicBool::new(true),
+        })
+    }
+
+    fn push(&self, arrival: u64, env: Envelope) {
+        let mut q = self.q.lock();
+        if q.is_empty() {
+            self.front.store(arrival, Ordering::Release);
+        }
+        q.push_back(Stamped { arrival, env });
+    }
+
+    /// Pop the front entry. Callers are serialized by the mailbox shelf
+    /// lock (the single-consumer side).
+    fn pop(&self) -> Option<Envelope> {
+        let mut q = self.q.lock();
+        let s = q.pop_front()?;
+        self.front.store(q.front().map_or(u64::MAX, |n| n.arrival), Ordering::Release);
+        Some(s.env)
+    }
+}
+
+fn sig_matches(sig: &Signature, src: i32, tag: Tag, comm: CommId) -> bool {
+    sig.matches(src, tag, comm)
+}
+
+/// The state under the mailbox shelf lock.
 ///
 /// Invariant: `fronts` holds exactly one entry per non-empty queue, keyed by
-/// that queue's front arrival stamp (stamps are unique); emptied queues are
-/// removed from both maps.
+/// that queue's front arrival stamp (stamps are unique); emptied queues stay
+/// in `queues` (bounded by [`RETAINED_EMPTY_QUEUES`]) with no `fronts`
+/// entry.
 #[derive(Debug, Default)]
 struct Shelves {
-    /// Per-signature FIFO queues.
+    /// Per-signature FIFO queues (possibly empty-but-retained).
     queues: HashMap<Signature, VecDeque<Stamped>>,
     /// Arrival stamp of each live queue's front envelope → its signature.
     /// Iterating this in key order visits queue heads oldest-first.
     fronts: BTreeMap<u64, Signature>,
-    /// Mailbox-global arrival counter (total ordering of deliveries).
-    next_arrival: u64,
-    /// Total queued envelopes across all signatures.
-    total: usize,
-}
-
-fn sig_matches(sig: &Signature, src: i32, tag: Tag, comm: CommId) -> bool {
-    sig.comm == comm
-        && (src == ANY_SOURCE || sig.src == src as Rank)
-        && (tag == ANY_TAG || sig.tag == tag)
+    /// Number of empty queues currently retained in `queues`.
+    idle_queues: usize,
+    /// Consecutive exact claims per signature (lane promotion bookkeeping;
+    /// reset by a wildcard claim of that signature).
+    streaks: HashMap<Signature, u32>,
 }
 
 impl Shelves {
-    fn push(&mut self, env: Envelope) {
-        let arrival = self.next_arrival;
-        self.next_arrival += 1;
-        self.total += 1;
+    fn push(&mut self, arrival: u64, env: Envelope) {
         let sig = env.signature();
         let q = self.queues.entry(sig).or_default();
         if q.is_empty() {
+            self.idle_queues = self.idle_queues.saturating_sub(1);
             self.fronts.insert(arrival, sig);
         }
         q.push_back(Stamped { arrival, env });
     }
 
-    /// The matching signature whose front envelope arrived earliest.
-    fn best_signature(&self, src: i32, tag: Tag, comm: CommId) -> Option<Signature> {
-        if src != ANY_SOURCE && tag != ANY_TAG {
-            // Exact signature: single hash lookup.
-            let sig = Signature { src: src as Rank, tag, comm };
-            return self.queues.contains_key(&sig).then_some(sig);
-        }
-        // Wildcard: fronts in ascending arrival order; the first matching
-        // front is the earliest matching message overall, because any later
-        // message of the same signature sits behind its queue's front.
-        self.fronts.values().find(|sig| sig_matches(sig, src, tag, comm)).copied()
+    /// Front arrival stamp of `sig`'s shelf queue, if non-empty.
+    fn shelf_front(&self, sig: &Signature) -> Option<u64> {
+        self.queues.get(sig).and_then(|q| q.front()).map(|s| s.arrival)
     }
 
-    fn claim(&mut self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
-        let sig = self.best_signature(src, tag, comm)?;
-        let Entry::Occupied(mut entry) = self.queues.entry(sig) else {
-            unreachable!("best_signature returned a live queue");
-        };
-        let stamped = entry.get_mut().pop_front().expect("queues are never left empty");
+    /// Pop the front of `sig`'s (non-empty) shelf queue, maintaining the
+    /// front index and the retained-queue arena.
+    fn pop_shelf(&mut self, sig: Signature) -> Envelope {
+        let q = self.queues.get_mut(&sig).expect("pop_shelf on live queue");
+        let stamped = q.pop_front().expect("pop_shelf on non-empty queue");
         self.fronts.remove(&stamped.arrival);
-        match entry.get().front() {
+        match q.front() {
             Some(next) => {
                 self.fronts.insert(next.arrival, sig);
             }
             None => {
-                entry.remove();
+                if self.idle_queues < RETAINED_EMPTY_QUEUES {
+                    self.idle_queues += 1; // keep the allocation warm
+                } else {
+                    self.queues.remove(&sig);
+                }
             }
         }
-        self.total -= 1;
-        Some(stamped.env)
+        stamped.env
     }
 
-    fn probe(&self, src: i32, tag: Tag, comm: CommId) -> Option<&Envelope> {
-        let sig = self.best_signature(src, tag, comm)?;
-        Some(&self.queues[&sig].front().expect("queues are never left empty").env)
+    /// The matching signature whose shelf-front envelope arrived earliest,
+    /// with its stamp.
+    fn best_shelf(&self, src: i32, tag: Tag, comm: CommId) -> Option<(u64, Signature)> {
+        if src != ANY_SOURCE && tag != ANY_TAG {
+            // Exact signature: single hash lookup.
+            let sig = Signature { src: src as Rank, tag, comm };
+            return self.shelf_front(&sig).map(|stamp| (stamp, sig));
+        }
+        // Wildcard: fronts in ascending arrival order; the first matching
+        // front is the earliest matching message overall, because any later
+        // message of the same signature sits behind its queue's front.
+        self.fronts
+            .iter()
+            .find(|(_, sig)| sig_matches(sig, src, tag, comm))
+            .map(|(stamp, sig)| (*stamp, *sig))
     }
 }
 
 /// A rank's incoming-message queue.
-#[derive(Default)]
 pub struct Mailbox {
     inner: Mutex<Shelves>,
     cv: Condvar,
+    /// Mailbox-global arrival counter, shared by the shelf and lane paths
+    /// (total ordering of deliveries).
+    next_arrival: AtomicU64,
+    /// Total queued envelopes across shelves and lanes.
+    total: AtomicUsize,
+    /// Promoted-signature lanes. Append-only (demoted lanes stay visible to
+    /// claims until re-promoted or drained); writers only on promotion.
+    lanes: RwLock<Vec<Arc<Lane>>>,
+    /// Exact-claim streak that promotes a signature ([`LANES_OFF`] disables
+    /// lanes entirely).
+    promote_after: u32,
+    /// True while thread-mode (polling) waiters may exist; when false the
+    /// delivery paths skip the condvar notify (the event scheduler wakes
+    /// receivers through its parkers instead).
+    polled: AtomicBool,
     /// Under bounded-mailbox backpressure: the job's credit ledger and this
     /// mailbox's rank, so claiming an application envelope returns its
     /// delivery credit and wakes parked senders.
     credit: Option<(Arc<Backpressure>, Rank)>,
 }
 
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox {
+            inner: Mutex::new(Shelves::default()),
+            cv: Condvar::new(),
+            next_arrival: AtomicU64::new(0),
+            total: AtomicUsize::new(0),
+            lanes: RwLock::new(Vec::new()),
+            promote_after: PROMOTE_AFTER,
+            polled: AtomicBool::new(true),
+            credit: None,
+        }
+    }
+}
+
 impl std::fmt::Debug for Mailbox {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Mailbox")
-            .field("inner", &self.inner)
+            .field("total", &self.total.load(Ordering::Relaxed))
+            .field("lanes", &self.lanes.read().len())
             .field("bounded", &self.credit.is_some())
             .finish()
     }
@@ -135,10 +251,24 @@ impl Mailbox {
         Self::default()
     }
 
+    /// Create an empty mailbox with an explicit lane-promotion threshold
+    /// (`0` promotes on the first exact claim; [`LANES_OFF`] disables
+    /// lanes). Tests and the property suite use this to exercise the lane
+    /// machinery aggressively.
+    pub fn with_promote_after(promote_after: u32) -> Self {
+        Mailbox { promote_after: promote_after.max(1), ..Self::default() }
+    }
+
     /// Create an empty bounded mailbox owned by `rank`, wired to the job's
     /// credit ledger.
-    pub(crate) fn with_credit(bp: Arc<Backpressure>, rank: Rank) -> Self {
-        Mailbox { credit: Some((bp, rank)), ..Self::default() }
+    pub(crate) fn with_credit(bp: Arc<Backpressure>, rank: Rank, promote_after: u32) -> Self {
+        Mailbox { credit: Some((bp, rank)), promote_after: promote_after.max(1), ..Self::default() }
+    }
+
+    /// Declare that no thread-mode waiter will ever poll this mailbox's
+    /// condvar (event-scheduler jobs), letting delivery skip the notify.
+    pub(crate) fn set_unpolled(&self) {
+        self.polled.store(false, Ordering::Relaxed);
     }
 
     /// Return the delivery credit of a claimed application envelope.
@@ -150,37 +280,199 @@ impl Mailbox {
         }
     }
 
+    /// The active lane for `sig`, if any.
+    fn active_lane(&self, sig: &Signature) -> Option<Arc<Lane>> {
+        self.lanes
+            .read()
+            .iter()
+            .find(|l| l.sig == *sig && l.active.load(Ordering::Relaxed))
+            .cloned()
+    }
+
     /// Deliver an envelope (called by the network from any thread).
     pub fn deliver(&self, env: Envelope) {
-        let mut q = self.inner.lock();
-        q.push(env);
-        self.cv.notify_all();
+        match self.active_lane(&env.signature()) {
+            Some(lane) => {
+                let arrival = self.next_arrival.fetch_add(1, Ordering::Relaxed);
+                lane.push(arrival, env);
+            }
+            None => {
+                let mut sh = self.inner.lock();
+                let arrival = self.next_arrival.fetch_add(1, Ordering::Relaxed);
+                sh.push(arrival, env);
+            }
+        }
+        self.total.fetch_add(1, Ordering::Release);
+        if self.polled.load(Ordering::Relaxed) {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Deliver a batch of envelopes to this mailbox, taking each internal
+    /// lock at most once and issuing at most one waiter notify — the
+    /// delivery half of wakeup coalescing (the scheduler wake is the
+    /// caller's, also once per batch).
+    pub fn deliver_batch(&self, envs: Vec<Envelope>) {
+        if envs.is_empty() {
+            return;
+        }
+        let n = envs.len();
+        let mut sh: Option<MutexGuard<'_, Shelves>> = None;
+        for env in envs {
+            match self.active_lane(&env.signature()) {
+                Some(lane) => {
+                    let arrival = self.next_arrival.fetch_add(1, Ordering::Relaxed);
+                    lane.push(arrival, env);
+                }
+                None => {
+                    let sh = sh.get_or_insert_with(|| self.inner.lock());
+                    let arrival = self.next_arrival.fetch_add(1, Ordering::Relaxed);
+                    sh.push(arrival, env);
+                }
+            }
+        }
+        drop(sh);
+        self.total.fetch_add(n, Ordering::Release);
+        if self.polled.load(Ordering::Relaxed) {
+            self.cv.notify_all();
+        }
+    }
+
+    /// The combined claim over shelves and lanes: take the matching
+    /// envelope with the smallest front stamp, run the lane
+    /// promotion/demotion bookkeeping, and maintain the total. Runs under
+    /// the shelf lock (the guard), which serializes all consumers.
+    fn claim_locked(&self, sh: &mut Shelves, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
+        let exact = src != ANY_SOURCE && tag != ANY_TAG;
+        let shelf_best = sh.best_shelf(src, tag, comm);
+        // Lane fronts: for exact claims only the one signature can match;
+        // wildcards scan every lane (bounded by MAX_LANES).
+        let lane_best: Option<Arc<Lane>> = {
+            let lanes = self.lanes.read();
+            let mut best: Option<(u64, &Arc<Lane>)> = None;
+            for l in lanes.iter() {
+                if !sig_matches(&l.sig, src, tag, comm) {
+                    continue;
+                }
+                let front = l.front.load(Ordering::Acquire);
+                if front != u64::MAX && best.is_none_or(|(b, _)| front < b) {
+                    best = Some((front, l));
+                }
+            }
+            match (shelf_best, best) {
+                (Some((s, _)), Some((f, l))) if f < s => Some(Arc::clone(l)),
+                (None, Some((_, l))) => Some(Arc::clone(l)),
+                _ => None,
+            }
+        };
+        let env = match lane_best {
+            Some(lane) => lane.pop().expect("lane front was non-empty under the consumer lock"),
+            None => {
+                let (_, sig) = shelf_best?;
+                sh.pop_shelf(sig)
+            }
+        };
+        self.total.fetch_sub(1, Ordering::Release);
+        let sig = env.signature();
+        if exact {
+            if self.promote_after != LANES_OFF {
+                let streak = sh.streaks.entry(sig).or_insert(0);
+                *streak = streak.saturating_add(1);
+                if *streak >= self.promote_after {
+                    self.promote(sig);
+                }
+            }
+        } else {
+            // A wildcard claim touched this signature: demote its lane (the
+            // wildcard path needs the global front index) and restart its
+            // streak. Purely a function of the claim sequence.
+            sh.streaks.remove(&sig);
+            if let Some(l) = self.lanes.read().iter().find(|l| l.sig == sig) {
+                l.active.store(false, Ordering::Relaxed);
+            }
+        }
+        Some(env)
+    }
+
+    /// Promote `sig`: reactivate its existing lane or create one (bounded
+    /// by [`MAX_LANES`]; at the cap the signature simply stays on the shelf
+    /// path). Called under the shelf lock.
+    fn promote(&self, sig: Signature) {
+        {
+            let lanes = self.lanes.read();
+            if let Some(l) = lanes.iter().find(|l| l.sig == sig) {
+                l.active.store(true, Ordering::Relaxed);
+                return;
+            }
+            if lanes.len() >= MAX_LANES {
+                return;
+            }
+        }
+        let mut lanes = self.lanes.write();
+        // Re-check under the write lock (claims race only with themselves,
+        // but stay defensive).
+        if lanes.len() < MAX_LANES && !lanes.iter().any(|l| l.sig == sig) {
+            lanes.push(Lane::new(sig));
+        }
+    }
+
+    /// The earliest matching front across shelves and lanes, peeked
+    /// (`(stamp, src, tag, payload_len)`).
+    fn probe_locked(
+        &self,
+        sh: &Shelves,
+        src: i32,
+        tag: Tag,
+        comm: CommId,
+    ) -> Option<(Rank, Tag, usize)> {
+        let shelf_best = sh.best_shelf(src, tag, comm);
+        let lanes = self.lanes.read();
+        let mut best: Option<(u64, (Rank, Tag, usize))> = shelf_best.map(|(stamp, sig)| {
+            let front = &sh.queues[&sig].front().expect("fronts index a non-empty queue").env;
+            (stamp, (front.src, front.tag, front.payload.len()))
+        });
+        for l in lanes.iter() {
+            if !sig_matches(&l.sig, src, tag, comm) {
+                continue;
+            }
+            let q = l.q.lock();
+            if let Some(s) = q.front() {
+                if best.is_none_or(|(b, _)| s.arrival < b) {
+                    best = Some((s.arrival, (s.env.src, s.env.tag, s.env.payload.len())));
+                }
+            }
+        }
+        best.map(|(_, info)| info)
     }
 
     /// Claim the first arrived envelope matching `(src, tag, comm)`, if any.
     pub fn try_claim(&self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
-        let env = self.inner.lock().claim(src, tag, comm)?;
+        let env = {
+            let mut sh = self.inner.lock();
+            self.claim_locked(&mut sh, src, tag, comm)?
+        };
         self.release_credit(&env);
         Some(env)
     }
 
     /// Peek (do not claim) the first arrived envelope matching
     /// `(src, tag, comm)`, returning `(src, tag, payload_len)` — `iprobe`.
-    pub fn probe(&self, src: i32, tag: Tag, comm: CommId) -> Option<(usize, Tag, usize)> {
-        let q = self.inner.lock();
-        q.probe(src, tag, comm).map(|e| (e.src, e.tag, e.payload.len()))
+    pub fn probe(&self, src: i32, tag: Tag, comm: CommId) -> Option<(Rank, Tag, usize)> {
+        let sh = self.inner.lock();
+        self.probe_locked(&sh, src, tag, comm)
     }
 
     /// Hold the mailbox lock across several matching operations. Used by the
     /// request engine to perform posted-order matching of multiple pending
-    /// receives atomically with respect to concurrent deliveries.
+    /// receives atomically with respect to concurrent shelf deliveries.
     pub fn lock(&self) -> MailboxGuard<'_> {
         MailboxGuard { inner: self.inner.lock(), owner: self }
     }
 
     /// Block until the mailbox might have changed, or `timeout` elapses.
     /// Callers loop: check condition, then `wait`, re-check. The timeout
-    /// bounds the latency of job-poison detection.
+    /// bounds the latency of job-poison detection (and of lane deliveries,
+    /// which notify without the shelf lock).
     pub fn wait(&self, timeout: Duration) {
         let mut q = self.inner.lock();
         // The queue may already contain a match the caller raced with; the
@@ -196,7 +488,7 @@ impl Mailbox {
 
     /// Number of undelivered envelopes (diagnostics / tests).
     pub fn len(&self) -> usize {
-        self.inner.lock().total
+        self.total.load(Ordering::Acquire)
     }
 
     /// True if no envelopes are waiting.
@@ -206,10 +498,17 @@ impl Mailbox {
 
     /// Drain every envelope (used when tearing a job down).
     pub fn clear(&self) {
-        let mut q = self.inner.lock();
-        q.queues.clear();
-        q.fronts.clear();
-        q.total = 0;
+        let mut sh = self.inner.lock();
+        sh.queues.clear();
+        sh.fronts.clear();
+        sh.streaks.clear();
+        sh.idle_queues = 0;
+        for l in self.lanes.read().iter() {
+            let mut q = l.q.lock();
+            q.clear();
+            l.front.store(u64::MAX, Ordering::Release);
+        }
+        self.total.store(0, Ordering::Release);
     }
 }
 
@@ -225,19 +524,19 @@ impl MailboxGuard<'_> {
     /// returned immediately (lock order mailbox → ledger is the only
     /// nesting of the two).
     pub fn claim(&mut self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
-        let env = self.inner.claim(src, tag, comm)?;
+        let env = self.owner.claim_locked(&mut self.inner, src, tag, comm)?;
         self.owner.release_credit(&env);
         Some(env)
     }
 
     /// Number of queued envelopes.
     pub fn len(&self) -> usize {
-        self.inner.total
+        self.owner.total.load(Ordering::Acquire)
     }
 
     /// True if nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.inner.total == 0
+        self.len() == 0
     }
 
     /// All queued envelopes in global arrival order (diagnostics / tests).
@@ -249,6 +548,9 @@ impl MailboxGuard<'_> {
             .values()
             .flat_map(|q| q.iter().map(|s| (s.arrival, s.env.clone())))
             .collect();
+        for l in self.owner.lanes.read().iter() {
+            all.extend(l.q.lock().iter().map(|s| (s.arrival, s.env.clone())));
+        }
         all.sort_by_key(|(arrival, _)| *arrival);
         all.into_iter().map(|(_, env)| env).collect()
     }
@@ -386,5 +688,71 @@ mod tests {
         let b = g.claim(ANY_SOURCE, 5, COMM_WORLD).unwrap();
         assert_eq!((a.src, b.src), (1, 2));
         assert!(g.is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Lane promotion / demotion mechanics
+    // ------------------------------------------------------------------
+
+    fn lane_count(mb: &Mailbox, active: bool) -> usize {
+        mb.lanes.read().iter().filter(|l| l.active.load(Ordering::Relaxed) == active).count()
+    }
+
+    #[test]
+    fn exact_claim_streak_promotes_a_lane() {
+        let mb = Mailbox::with_promote_after(3);
+        for seq in 0..6u64 {
+            mb.deliver(env(1, 5, seq));
+        }
+        for seq in 0..3u64 {
+            assert_eq!(mb.try_claim(1, 5, COMM_WORLD).unwrap().seq, seq);
+        }
+        assert_eq!(lane_count(&mb, true), 1, "3 exact claims must promote (1,5)");
+        // New deliveries land in the lane; shelf stragglers drain first.
+        for seq in 6..9u64 {
+            mb.deliver(env(1, 5, seq));
+        }
+        for seq in 3..9u64 {
+            assert_eq!(mb.try_claim(1, 5, COMM_WORLD).unwrap().seq, seq, "FIFO across the split");
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn wildcard_claim_demotes_the_lane_but_never_loses_order() {
+        let mb = Mailbox::with_promote_after(2);
+        for seq in 0..2u64 {
+            mb.deliver(env(1, 5, seq));
+            mb.try_claim(1, 5, COMM_WORLD).unwrap();
+        }
+        assert_eq!(lane_count(&mb, true), 1);
+        // Interleave lane traffic with another signature, then drain by
+        // wildcard: exact global arrival order, and the lane is demoted.
+        mb.deliver(env(1, 5, 2)); // lane
+        mb.deliver(env(2, 9, 0)); // shelf
+        mb.deliver(env(1, 5, 3)); // lane
+        let a = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+        assert_eq!((a.src, a.seq), (1, 2));
+        assert_eq!(lane_count(&mb, false), 1, "wildcard touching the lane must demote it");
+        // Post-demotion deliveries go to the shelf; the lane still drains.
+        mb.deliver(env(1, 5, 4));
+        let b = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+        assert_eq!((b.src, b.seq), (2, 0));
+        for seq in 3..5u64 {
+            assert_eq!(mb.try_claim(1, 5, COMM_WORLD).unwrap().seq, seq);
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn deliver_batch_matches_sequential_delivery() {
+        let mb = Mailbox::new();
+        let batch: Vec<Envelope> = (0..5u64).map(|i| env(1 + (i as usize % 2), 5, i)).collect();
+        mb.deliver_batch(batch);
+        assert_eq!(mb.len(), 5);
+        for i in 0..5u64 {
+            let got = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+            assert_eq!(got.seq, i, "batch delivery must preserve arrival order");
+        }
     }
 }

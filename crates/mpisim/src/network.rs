@@ -40,20 +40,39 @@ const PARK_POLL: Duration = Duration::from_micros(200);
 /// chaos runs regardless of wall-clock load. The window survives only as
 /// the thread-per-rank oracle's fallback; such a job whose receivers
 /// legitimately compute for longer while a sender is parked can widen it
-/// via `C3_BACKPRESSURE_STALL_SECS`.
-const PARK_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+/// via `C3_STALL_MS` (or the legacy `C3_BACKPRESSURE_STALL_SECS`).
+const PARK_STALL_BASE: Duration = Duration::from_secs(5);
 
-/// The stall window, honoring the `C3_BACKPRESSURE_STALL_SECS` override
-/// (read once per process).
-fn park_stall_timeout() -> Duration {
-    static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
-    Duration::from_secs(*SECS.get_or_init(|| {
+/// Extra stall allowance per rank: a loaded CI host timeslices every
+/// carrier thread of the oracle scheduler, so legitimate zero-progress
+/// gaps grow with the thread count. A fixed 5 s window misfired as
+/// `BACKPRESSURE_DEADLOCK` on large thread-mode jobs; the default now
+/// scales with rank count.
+const PARK_STALL_PER_RANK: Duration = Duration::from_millis(10);
+
+/// The thread-mode stall window for a job of `nranks`, honoring the
+/// `C3_STALL_MS` override (milliseconds; wins) and the legacy
+/// `C3_BACKPRESSURE_STALL_SECS` (seconds). Environment is read once per
+/// process; the rank scaling applies only to the built-in default.
+fn park_stall_timeout(nranks: usize) -> Duration {
+    static MS: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    static LEGACY_SECS: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    let ms = *MS.get_or_init(|| {
+        std::env::var("C3_STALL_MS").ok().and_then(|v| v.parse().ok()).filter(|m| *m > 0)
+    });
+    if let Some(ms) = ms {
+        return Duration::from_millis(ms);
+    }
+    let legacy = *LEGACY_SECS.get_or_init(|| {
         std::env::var("C3_BACKPRESSURE_STALL_SECS")
             .ok()
             .and_then(|v| v.parse().ok())
             .filter(|s| *s > 0)
-            .unwrap_or(PARK_STALL_TIMEOUT.as_secs())
-    }))
+    });
+    if let Some(secs) = legacy {
+        return Duration::from_secs(secs);
+    }
+    PARK_STALL_BASE + PARK_STALL_PER_RANK * nranks as u32
 }
 
 /// Virtual-time cost model of an interconnect, in the style of the paper's
@@ -174,6 +193,12 @@ pub struct NetModel {
     /// bound. A send cycle among parked ranks poisons the job with a
     /// [`crate::BACKPRESSURE_DEADLOCK_MARKER`] reason instead of hanging.
     pub mailbox_capacity: Option<usize>,
+    /// Mailbox lane-promotion threshold: a signature claimed exactly (no
+    /// wildcards) this many consecutive times gets a dedicated SPSC lane
+    /// (see [`crate::mailbox`]). `None` uses the default
+    /// ([`crate::mailbox::PROMOTE_AFTER`]); `Some(0)` disables lanes. The
+    /// `C3_LANES=0` environment kill switch disables them globally.
+    pub lane_promote: Option<u32>,
 }
 
 impl NetModel {
@@ -185,6 +210,7 @@ impl NetModel {
             dup_permille: 0,
             seed: 1,
             mailbox_capacity: None,
+            lane_promote: None,
         }
     }
 
@@ -197,6 +223,7 @@ impl NetModel {
             dup_permille: 0,
             seed,
             mailbox_capacity: None,
+            lane_promote: None,
         }
     }
 
@@ -234,6 +261,14 @@ impl NetModel {
     /// Remove the mailbox bound (back to idealized buffered sends).
     pub fn unbounded(mut self) -> Self {
         self.mailbox_capacity = None;
+        self
+    }
+
+    /// Set the mailbox lane-promotion threshold (`0` disables lanes; `1`
+    /// promotes on the first exact claim — the aggressive setting the
+    /// equivalence tests use to exercise the lane machinery).
+    pub fn lane_promote(mut self, after: u32) -> Self {
+        self.lane_promote = Some(after);
         self
     }
 
@@ -333,7 +368,14 @@ struct FaultState {
 /// * A credit is released exactly once, when the owning rank claims the
 ///   envelope from its mailbox ([`Backpressure::release`]).
 /// * Parked senders are granted credits strictly in ticket (FIFO) order,
-///   so wake order — and therefore delivery order — is reproducible.
+///   so wake order — and therefore delivery order — is reproducible. Wakes
+///   are *targeted*: a freed credit notifies exactly the sender at the
+///   queue front (per-sender condvars; a rank parks on at most one
+///   destination at a time), never the whole waitlist — the old
+///   `notify_all` thundering herd woke every parked sender to race for one
+///   credit, and on a loaded host the losers' re-check stampede could
+///   reorder grant *observations* even though grants themselves were
+///   ticket-ordered.
 /// * `done` (per shard) marks a rank whose application function has
 ///   returned; sends to it complete without credits (nothing will ever
 ///   drain that mailbox again, and unbounded fire-and-forget sends at job
@@ -345,9 +387,11 @@ pub(crate) struct Backpressure {
     capacity: usize,
     /// Per-destination credit shards.
     shards: Vec<Mutex<BpShard>>,
-    /// Per-destination condvars for thread-mode parked senders (paired
-    /// with the same-index shard mutex).
-    cvs: Vec<Condvar>,
+    /// Per-**sender** condvars for thread-mode parked senders. A rank is
+    /// single-threaded and parks on at most one destination at a time, so
+    /// each condvar has at most one waiter, always paired with the shard
+    /// mutex of the destination currently parked on.
+    sender_cvs: Vec<Condvar>,
     /// `parked[s] = Some(d)` while rank `s` is parked sending to `d`.
     parked: Vec<Mutex<Option<Rank>>>,
     /// Global ticket counter (FIFO grant order within each shard queue).
@@ -377,7 +421,7 @@ impl Backpressure {
                     Mutex::new(BpShard { outstanding: 0, queue: VecDeque::new(), done: false })
                 })
                 .collect(),
-            cvs: (0..nranks).map(|_| Condvar::new()).collect(),
+            sender_cvs: (0..nranks).map(|_| Condvar::new()).collect(),
             parked: (0..nranks).map(|_| Mutex::new(None)).collect(),
             next_ticket: AtomicU64::new(0),
             progress: AtomicU64::new(0),
@@ -386,21 +430,22 @@ impl Backpressure {
     }
 
     /// Return the credit held by a claimed application envelope and wake
-    /// the parked sender at the queue front (FIFO grant order).
+    /// the parked sender at the queue front (FIFO grant order). Only the
+    /// front can take the freed credit, so only the front is woken.
     pub(crate) fn release(&self, dst: Rank) {
         self.progress.fetch_add(1, Ordering::Relaxed);
         let sh = &mut *self.shards[dst].lock();
         sh.outstanding = sh.outstanding.saturating_sub(1);
         if let Some(&(_, front_src)) = sh.queue.front() {
-            self.cvs[dst].notify_all();
+            self.sender_cvs[front_src].notify_one();
             self.sched.wake(front_src);
         }
     }
 
-    /// Under the held shard lock for `dst`: try to grant `ticket` to `src`
-    /// (queue-front capacity grant or done-rank bypass). On a grant the
-    /// park entry is cleared and the next queued sender is woken.
-    fn try_grant(&self, sh: &mut BpShard, src: Rank, dst: Rank, ticket: u64) -> bool {
+    /// Under the held shard lock of the destination: try to grant `ticket`
+    /// to `src` (queue-front capacity grant or done-rank bypass). On a
+    /// grant the park entry is cleared and the next queued sender is woken.
+    fn try_grant(&self, sh: &mut BpShard, src: Rank, ticket: u64) -> bool {
         let at_front = sh.queue.front().map(|(t, _)| *t) == Some(ticket);
         if !(sh.done || (at_front && sh.outstanding < self.capacity)) {
             return false;
@@ -417,21 +462,21 @@ impl Backpressure {
             sh.outstanding += 1;
         }
         self.progress.fetch_add(1, Ordering::Relaxed);
-        // The next parked ticket may now be at the front.
-        self.cvs[dst].notify_all();
+        // The next parked ticket may now be at the front; wake it alone.
         if let Some(&(_, next_src)) = sh.queue.front() {
+            self.sender_cvs[next_src].notify_one();
             self.sched.wake(next_src);
         }
         true
     }
 
-    /// Under the held shard lock for `dst`: abandon `ticket` (poison
-    /// unwind), handing the queue front to the next sender.
-    fn abandon(&self, sh: &mut BpShard, src: Rank, dst: Rank, ticket: u64) {
+    /// Under the held shard lock of the destination: abandon `ticket`
+    /// (poison unwind), handing the queue front to the next sender.
+    fn abandon(&self, sh: &mut BpShard, src: Rank, ticket: u64) {
         sh.queue.retain(|(t, _)| *t != ticket);
         *self.parked[src].lock() = None;
-        self.cvs[dst].notify_all();
         if let Some(&(_, next_src)) = sh.queue.front() {
+            self.sender_cvs[next_src].notify_one();
             self.sched.wake(next_src);
         }
     }
@@ -479,6 +524,20 @@ impl Backpressure {
     }
 }
 
+/// The effective lane-promotion threshold for a job: the model's knob,
+/// then the `C3_LANES=0` global kill switch (read once per process).
+fn lane_promote_after(model: &NetModel) -> u32 {
+    static KILLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *KILLED.get_or_init(|| std::env::var("C3_LANES").is_ok_and(|v| v == "0")) {
+        return crate::mailbox::LANES_OFF;
+    }
+    match model.lane_promote {
+        Some(0) => crate::mailbox::LANES_OFF,
+        Some(n) => n,
+        None => crate::mailbox::PROMOTE_AFTER,
+    }
+}
+
 /// SplitMix64 finalizer: the avalanche mixer behind the fate hash.
 #[inline]
 fn mix64(mut x: u64) -> u64 {
@@ -506,6 +565,9 @@ pub struct Network {
     /// The job's rank scheduler: parks and wakes blocked ranks in event
     /// mode, inert in thread-per-rank mode.
     sched: Arc<Sched>,
+    /// Thread-mode stall watchdog window (rank-scaled default, `C3_STALL_MS`
+    /// override; see [`park_stall_timeout`]).
+    stall_window: Duration,
     /// Bumped on every actual mailbox delivery; together with
     /// `Backpressure::progress` it answers "did anything move?" for both
     /// deadlock watchdogs.
@@ -568,13 +630,23 @@ impl Network {
         let backpressure = model
             .mailbox_capacity
             .map(|cap| Arc::new(Backpressure::new(nranks, cap, Arc::clone(&sched))));
+        let promote_after = lane_promote_after(&model);
+        let mailboxes: Vec<Mailbox> = (0..nranks)
+            .map(|dst| match &backpressure {
+                Some(bp) => Mailbox::with_credit(Arc::clone(bp), dst, promote_after),
+                None => Mailbox::with_promote_after(promote_after),
+            })
+            .collect();
+        if sched.is_event() {
+            // No rank will ever do a timed condvar wait on its mailbox in
+            // event mode (blocked ranks park on the scheduler), so delivery
+            // can skip the notify.
+            for mb in &mailboxes {
+                mb.set_unpolled();
+            }
+        }
         Network {
-            mailboxes: (0..nranks)
-                .map(|dst| match &backpressure {
-                    Some(bp) => Mailbox::with_credit(Arc::clone(bp), dst),
-                    None => Mailbox::new(),
-                })
-                .collect(),
+            mailboxes,
             cluster,
             model,
             reorder_state,
@@ -582,6 +654,7 @@ impl Network {
             dedup_state,
             backpressure,
             sched,
+            stall_window: park_stall_timeout(nranks),
             progress: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             poison_reason: Mutex::new(None),
@@ -681,10 +754,10 @@ impl Network {
             {
                 let mut sh = bp.shards[dst].lock();
                 if self.is_poisoned() {
-                    bp.abandon(&mut sh, src, dst, ticket);
+                    bp.abandon(&mut sh, src, ticket);
                     return Err(MpiError::Aborted);
                 }
-                if bp.try_grant(&mut sh, src, dst, ticket) {
+                if bp.try_grant(&mut sh, src, ticket) {
                     return Ok(());
                 }
             }
@@ -694,15 +767,15 @@ impl Network {
             if progress != last_progress {
                 last_progress = progress;
                 stall_since = std::time::Instant::now();
-            } else if stall_since.elapsed() >= park_stall_timeout() {
+            } else if stall_since.elapsed() >= self.stall_window {
                 self.poison(&format!(
                     "{}: rank {src} parked sending to rank {dst} while no message moved \
                      anywhere in the job for {:?} — a receive is most likely blocked on a \
                      message parked behind a full mailbox (no send cycle to prove); the \
                      application (or protocol) relies on more buffering than mailbox \
-                     capacity {} provides (C3_BACKPRESSURE_STALL_SECS widens the window)",
+                     capacity {} provides (C3_STALL_MS widens the window)",
                     crate::BACKPRESSURE_DEADLOCK_MARKER,
-                    park_stall_timeout(),
+                    self.stall_window,
                     bp.capacity
                 ));
                 continue;
@@ -711,8 +784,11 @@ impl Network {
                 self.poison_cycle(&cycle, bp.capacity);
                 continue;
             }
+            // Park on this sender's own condvar, paired with the shard
+            // mutex of the destination being waited on — at most one waiter
+            // per condvar, woken only when this sender's ticket can move.
             let mut sh = bp.shards[dst].lock();
-            bp.cvs[dst].wait_for(&mut sh, PARK_POLL);
+            bp.sender_cvs[src].wait_for(&mut sh, PARK_POLL);
         }
     }
 
@@ -733,10 +809,10 @@ impl Network {
             {
                 let mut sh = bp.shards[dst].lock();
                 if self.is_poisoned() {
-                    bp.abandon(&mut sh, src, dst, ticket);
+                    bp.abandon(&mut sh, src, ticket);
                     return Err(MpiError::Aborted);
                 }
-                if bp.try_grant(&mut sh, src, dst, ticket) {
+                if bp.try_grant(&mut sh, src, ticket) {
                     return Ok(());
                 }
             }
@@ -829,10 +905,13 @@ impl Network {
             let waiters: Vec<Rank> = {
                 let mut sh = bp.shards[rank].lock();
                 sh.done = true;
-                bp.cvs[rank].notify_all();
                 sh.queue.iter().map(|(_, s)| *s).collect()
             };
+            // Done-rank bypass admits *every* queued ticket, not just the
+            // front, so this is the one case where all waiters are woken —
+            // each through its own condvar.
             for s in waiters {
+                bp.sender_cvs[s].notify_one();
                 self.sched.wake(s);
             }
         }
@@ -941,16 +1020,33 @@ impl Network {
     /// Re-inject delayed envelopes that have come due, strictly from the
     /// queue head (through the reorder stage so held same-signature
     /// messages keep FIFO). Entries behind a not-yet-due head wait with it;
-    /// releasing out of queue order could break per-signature FIFO.
+    /// releasing out of queue order could break per-signature FIFO. With no
+    /// reordering model the whole due run is delivered as one batch (one
+    /// mailbox lock, one wake).
     fn retransmit_due(&self, fs: &mut FaultState, now: u64) {
+        if fs.delayed.front().is_none_or(|(_, due)| *due > now) {
+            return;
+        }
+        let mut due_run = Vec::new();
         while fs.delayed.front().is_some_and(|(_, due)| *due <= now) {
             let (e, _) = fs.delayed.pop_front().expect("front checked");
-            self.reorder_inject(e);
+            due_run.push(e);
+        }
+        if matches!(self.model.reorder, ReorderModel::None) {
+            let dst = due_run[0].dst;
+            self.final_deliver_batch(dst, due_run);
+        } else {
+            for e in due_run {
+                self.reorder_inject(e);
+            }
         }
     }
 
     /// The reordering stage: holds/flushes envelopes per destination, then
-    /// hands them to final (dedup-checked) delivery.
+    /// hands them to final (dedup-checked) delivery. Everything this call
+    /// decides to deliver goes out as **one batch**, in exactly the order
+    /// the linear flush produced it — one mailbox lock, one wake, identical
+    /// arrival stamps.
     fn reorder_inject(&self, env: Envelope) {
         let dst = env.dst;
         match self.model.reorder {
@@ -961,6 +1057,7 @@ impl Network {
                 // overtake an envelope already removed from `held` but not
                 // yet in the mailbox, breaking per-signature FIFO.
                 let mut st = self.reorder_state[dst].lock();
+                let mut out = Vec::new();
                 let sig = env.signature();
                 // Per-signature FIFO: flush any held envelope with the
                 // same signature before this one may be delivered or
@@ -968,8 +1065,7 @@ impl Network {
                 let mut i = 0;
                 while i < st.held.len() {
                     if st.held[i].signature() == sig {
-                        let e = st.held.remove(i);
-                        self.final_deliver(e);
+                        out.push(st.held.remove(i));
                     } else {
                         i += 1;
                     }
@@ -982,19 +1078,19 @@ impl Network {
                 if hold {
                     st.held.push(env);
                 } else {
-                    self.final_deliver(env);
+                    out.push(env);
                     // Flush each held envelope with probability 1/2.
                     let mut i = 0;
                     while i < st.held.len() {
                         let flush = st.rng.as_mut().unwrap().gen_bool(0.5);
                         if flush {
-                            let e = st.held.remove(i);
-                            self.final_deliver(e);
+                            out.push(st.held.remove(i));
                         } else {
                             i += 1;
                         }
                     }
                 }
+                self.final_deliver_batch(dst, out);
             }
         }
     }
@@ -1020,6 +1116,46 @@ impl Network {
         self.sched.wake(dst);
     }
 
+    /// Batched final delivery: `envs` (all destined for `dst`, already in
+    /// delivery order) enter the mailbox under one lock acquisition and the
+    /// destination is woken **once** — the wakeup-coalescing half of the
+    /// hot path. Arrival stamps are assigned in vector order, so the result
+    /// is bit-identical to delivering one at a time.
+    fn final_deliver_batch(&self, dst: Rank, envs: Vec<Envelope>) {
+        if envs.len() <= 1 {
+            if let Some(env) = envs.into_iter().next() {
+                self.final_deliver(env);
+            }
+            return;
+        }
+        if let Some(bp) = &self.backpressure {
+            bp.progress.fetch_add(envs.len() as u64, Ordering::Relaxed);
+        }
+        let envs = match &self.dedup_state {
+            Some(dedup) => {
+                let mut windows = dedup[dst].lock();
+                let mut kept = Vec::with_capacity(envs.len());
+                for env in envs {
+                    if windows[env.src].seen_before(env.seq) {
+                        self.dups_suppressed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        kept.push(env);
+                    }
+                }
+                kept
+            }
+            None => envs,
+        };
+        if envs.is_empty() {
+            return;
+        }
+        let delivered = envs.len() as u64;
+        self.mailboxes[dst].deliver_batch(envs);
+        // Progress before wake, as in the single path.
+        self.progress.fetch_add(delivered, Ordering::Relaxed);
+        self.sched.wake(dst);
+    }
+
     /// Flush envelopes withheld by the fault and reordering models for
     /// `dst`. Called by a rank's blocked wait loops so that withheld
     /// messages are eventually delivered even if no further traffic arrives
@@ -1028,8 +1164,12 @@ impl Network {
         if self.model.has_faults() {
             let mut fs = self.fault_state[dst].lock();
             let delayed: Vec<_> = fs.delayed.drain(..).collect();
-            for (e, _) in delayed {
-                self.reorder_inject(e);
+            if matches!(self.model.reorder, ReorderModel::None) {
+                self.final_deliver_batch(dst, delayed.into_iter().map(|(e, _)| e).collect());
+            } else {
+                for (e, _) in delayed {
+                    self.reorder_inject(e);
+                }
             }
         }
         if matches!(self.model.reorder, ReorderModel::None) {
@@ -1037,9 +1177,7 @@ impl Network {
         }
         let mut st = self.reorder_state[dst].lock();
         let held: Vec<_> = st.held.drain(..).collect();
-        for e in held {
-            self.final_deliver(e);
-        }
+        self.final_deliver_batch(dst, held);
     }
 
     /// Flush every withheld envelope (used at teardown / quiescence points
@@ -1062,7 +1200,7 @@ impl Network {
         // Parked senders and parked (event-mode) ranks re-check the poison
         // flag on wake.
         if let Some(bp) = &self.backpressure {
-            for cv in &bp.cvs {
+            for cv in &bp.sender_cvs {
                 cv.notify_all();
             }
         }

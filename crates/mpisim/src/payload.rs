@@ -25,10 +25,27 @@
 //! 4. Pooled buffers return to their pool when the last `Payload` referring
 //!    to them drops; the pool is bounded, so the steady state neither grows
 //!    nor thrashes the allocator.
+//! 5. Payload *headers* (the ref-counted backing shells) are arena-allocated
+//!    too: a pool keeps a freelist of retired shells, and the zero-copy
+//!    receive path ([`Payload::into_vec`]) returns the shell it vacates, so
+//!    a steady-state send/recv loop performs no allocator calls at all.
+//!
+//! ## The process-global warm-page arena
+//!
+//! A `BufferPool` is per-world, but worlds can be short-lived (the benches
+//! launch a fresh world per repetition) and a pool's per-class shelves are
+//! shallow. Freeing a large buffer returns its pages to the kernel, so a
+//! workload that cycles worlds re-faults every page of every buffer — the
+//! PR 6 fan-out regression: ~16 minor faults per 64 KiB send. Overflow and
+//! teardown therefore *donate* buffers to a process-global, byte-bounded
+//! arena instead of freeing them, and `lease` falls back to the arena on a
+//! local miss. The bound defaults to 128 MiB; `C3_POOL_ARENA_MB` overrides
+//! it (`0` disables the arena). The arena affects only where buffer memory
+//! comes from — never message semantics or op clocks.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 /// Smallest pooled buffer capacity (shelf 0).
 const MIN_SHELF_BYTES: usize = 64;
@@ -36,12 +53,63 @@ const MIN_SHELF_BYTES: usize = 64;
 const SHELVES: usize = 21;
 /// Maximum buffers retained per size class.
 const SHELF_DEPTH: usize = 32;
+/// Maximum retired backing shells kept per pool for header reuse.
+const SHELL_DEPTH: usize = 64;
+/// Default process-global arena bound (MiB).
+const DEFAULT_ARENA_MB: usize = 128;
+
+/// The process-global warm-buffer store: per-class stacks of retired
+/// buffers, bounded by total capacity bytes.
+struct GlobalArena {
+    shelves: Vec<Mutex<Vec<Vec<u8>>>>,
+    bytes: AtomicUsize,
+    cap_bytes: usize,
+}
+
+fn arena() -> &'static GlobalArena {
+    static ARENA: OnceLock<GlobalArena> = OnceLock::new();
+    ARENA.get_or_init(|| {
+        let mb = std::env::var("C3_POOL_ARENA_MB")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_ARENA_MB);
+        GlobalArena {
+            shelves: (0..SHELVES).map(|_| Mutex::new(Vec::new())).collect(),
+            bytes: AtomicUsize::new(0),
+            cap_bytes: mb * (1 << 20),
+        }
+    })
+}
+
+impl GlobalArena {
+    fn take(&self, shelf: usize) -> Option<Vec<u8>> {
+        if self.cap_bytes == 0 {
+            return None;
+        }
+        let v = self.shelves[shelf].lock().unwrap_or_else(|e| e.into_inner()).pop()?;
+        self.bytes.fetch_sub(v.capacity(), Ordering::Relaxed);
+        Some(v)
+    }
+
+    fn put(&self, mut vec: Vec<u8>) {
+        let cap = vec.capacity();
+        if cap == 0 || self.bytes.load(Ordering::Relaxed) + cap > self.cap_bytes {
+            return; // full (or disabled): let the allocator have it
+        }
+        vec.clear();
+        self.bytes.fetch_add(cap, Ordering::Relaxed);
+        self.shelves[shelf_for(cap)].lock().unwrap_or_else(|e| e.into_inner()).push(vec);
+    }
+}
 
 /// A bounded pool of reusable byte buffers, organized in power-of-two size
 /// classes. One pool is shared per world (see `Network::pool`); leases are
 /// cheap and thread-safe.
 pub struct BufferPool {
     shelves: Vec<Mutex<Vec<Vec<u8>>>>,
+    /// Retired backing shells, reused so steady-state payload construction
+    /// allocates no headers (see module docs, rule 5).
+    shells: Mutex<Vec<Arc<Backing>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     recycled: AtomicU64,
@@ -69,6 +137,7 @@ impl BufferPool {
     pub fn new() -> Arc<Self> {
         Arc::new(BufferPool {
             shelves: (0..SHELVES).map(|_| Mutex::new(Vec::new())).collect(),
+            shells: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             recycled: AtomicU64::new(0),
@@ -91,8 +160,20 @@ impl BufferPool {
                 v
             }
             None => {
+                // Local miss: a warm buffer from the process-global arena
+                // (already-faulted pages) beats a fresh allocation. Counted
+                // as a miss — the *pool* missed — so per-pool stats stay
+                // independent of cross-world arena state.
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                Vec::with_capacity(capacity.max(MIN_SHELF_BYTES << shelf.min(10)))
+                match arena().take(shelf) {
+                    Some(mut v) => {
+                        if v.capacity() < capacity {
+                            v.reserve(capacity);
+                        }
+                        v
+                    }
+                    None => Vec::with_capacity(capacity.max(MIN_SHELF_BYTES << shelf.min(10))),
+                }
             }
         };
         Lease { vec, pool: Arc::downgrade(self) }
@@ -111,11 +192,51 @@ impl BufferPool {
             return;
         }
         let shelf = shelf_for(vec.capacity());
-        let mut s = self.shelves[shelf].lock().unwrap_or_else(|e| e.into_inner());
-        if s.len() < SHELF_DEPTH {
-            vec.clear();
-            s.push(vec);
-            self.recycled.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut s = self.shelves[shelf].lock().unwrap_or_else(|e| e.into_inner());
+            if s.len() < SHELF_DEPTH {
+                vec.clear();
+                s.push(vec);
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Shelf full: donate to the global arena instead of freeing, so a
+        // burst larger than the shelf (fan-out) stays warm for the next
+        // lease — even a lease by a different (later) world.
+        arena().put(vec);
+    }
+
+    /// Freeze `vec` into a pool-attached payload without copying: the
+    /// ownership-transfer twin of [`BufferPool::payload_from`]. The buffer
+    /// returns to this pool when the last reference drops, and the header
+    /// comes from the shell freelist — the steady-state `send_owned` path
+    /// allocates nothing.
+    pub fn payload_from_vec(self: &Arc<Self>, vec: Vec<u8>) -> Payload {
+        let len = vec.len();
+        Payload { buf: self.shell(vec), off: 0, len }
+    }
+
+    /// Wrap `vec` in a backing shell, reusing a retired one if available.
+    fn shell(self: &Arc<Self>, vec: Vec<u8>) -> Arc<Backing> {
+        let retired = self.shells.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match retired {
+            Some(mut shell) => {
+                let b = Arc::get_mut(&mut shell).expect("freelisted shells have no other refs");
+                b.vec = vec;
+                b.pool = Arc::downgrade(self);
+                shell
+            }
+            None => Arc::new(Backing { vec, pool: Arc::downgrade(self) }),
+        }
+    }
+
+    /// Return a vacated backing shell (empty vec, detached pool) for reuse.
+    fn reshelve(&self, shell: Arc<Backing>) {
+        debug_assert!(Arc::strong_count(&shell) == 1 && shell.vec.capacity() == 0);
+        let mut shells = self.shells.lock().unwrap_or_else(|e| e.into_inner());
+        if shells.len() < SHELL_DEPTH {
+            shells.push(shell);
         }
     }
 
@@ -128,6 +249,23 @@ impl BufferPool {
             self.recycled.load(Ordering::Relaxed),
         )
     }
+
+    #[cfg(test)]
+    fn shell_count(&self) -> usize {
+        self.shells.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // The world is going away; keep its warm buffers for the next one.
+        for shelf in &self.shelves {
+            let mut s = shelf.lock().unwrap_or_else(|e| e.into_inner());
+            for vec in s.drain(..) {
+                arena().put(vec);
+            }
+        }
+    }
 }
 
 /// A writable buffer leased from a [`BufferPool`]. Derefs to `Vec<u8>`;
@@ -138,12 +276,17 @@ pub struct Lease {
 }
 
 impl Lease {
-    /// Freeze into an immutable, shareable payload (no copy).
+    /// Freeze into an immutable, shareable payload (no copy). The header
+    /// comes from the pool's shell freelist when one is retired.
     pub fn freeze(mut self) -> Payload {
         let vec = std::mem::take(&mut self.vec);
         let pool = std::mem::replace(&mut self.pool, Weak::new());
         let len = vec.len();
-        Payload { buf: Arc::new(Backing { vec, pool }), off: 0, len }
+        let buf = match pool.upgrade() {
+            Some(pool) => pool.shell(vec),
+            None => Arc::new(Backing { vec, pool }),
+        };
+        Payload { buf, off: 0, len }
     }
 }
 
@@ -237,26 +380,30 @@ impl Payload {
 
     /// Recover an owned `Vec`. Zero-copy when this is the last reference and
     /// the view covers the whole buffer (the steady-state receive path);
-    /// copies the view otherwise.
-    pub fn into_vec(self) -> Vec<u8> {
+    /// copies the view otherwise. The vacated header shell returns to the
+    /// pool's freelist, so the zero-copy round trip frees nothing.
+    pub fn into_vec(mut self) -> Vec<u8> {
         let off = self.off;
         let len = self.len;
-        match Arc::try_unwrap(self.buf) {
-            Ok(mut backing) => {
-                // Sole owner: steal the vec (detach from the pool — the
-                // caller now owns the allocation).
-                backing.pool = Weak::new();
-                let mut v = std::mem::take(&mut backing.vec);
-                if off == 0 {
-                    v.truncate(len);
-                    v
-                } else {
-                    v.copy_within(off..off + len, 0);
-                    v.truncate(len);
-                    v
+        // Sole owner: steal the vec (detach from the pool — the caller now
+        // owns the allocation).
+        let stolen = Arc::get_mut(&mut self.buf).map(|backing| {
+            let pool = backing.pool.upgrade();
+            backing.pool = Weak::new();
+            (std::mem::take(&mut backing.vec), pool)
+        });
+        match stolen {
+            Some((mut v, pool)) => {
+                if let Some(pool) = pool {
+                    pool.reshelve(self.buf);
                 }
+                if off != 0 {
+                    v.copy_within(off..off + len, 0);
+                }
+                v.truncate(len);
+                v
             }
-            Err(shared) => shared.vec[off..off + len].to_vec(),
+            None => self.buf.vec[off..off + len].to_vec(),
         }
     }
 
@@ -396,6 +543,36 @@ mod tests {
         assert_eq!(pool.stats().2, 0, "stolen buffer must not also recycle");
         drop(v);
         assert_eq!(pool.stats().2, 0);
+    }
+
+    #[test]
+    fn arena_keeps_buffers_warm_across_pools() {
+        // A size class nothing else in this test binary touches, so the
+        // process-global arena interaction is deterministic.
+        const BIG: usize = 3 << 20;
+        let first = BufferPool::new();
+        let p = first.payload_from(&vec![7u8; BIG]);
+        let ptr = p.ptr();
+        drop(p); // recycles into `first`'s local shelf
+        drop(first); // shelf drains into the process-global arena
+        let second = BufferPool::new();
+        let q = second.payload_from(&vec![8u8; BIG]);
+        assert_eq!(q.ptr(), ptr, "a new world must lease the retired world's warm buffer");
+    }
+
+    #[test]
+    fn zero_copy_round_trip_recycles_the_header_shell() {
+        let pool = BufferPool::new();
+        assert_eq!(pool.shell_count(), 0);
+        let src = vec![1u8; 32];
+        let ptr = src.as_ptr();
+        let p = pool.payload_from_vec(src);
+        assert_eq!(p.ptr(), ptr, "payload_from_vec must not copy");
+        let v = p.into_vec();
+        assert_eq!(v.as_ptr(), ptr, "unique into_vec must not copy");
+        assert_eq!(pool.shell_count(), 1, "into_vec must return the vacated shell");
+        let _q = pool.payload_from_vec(v);
+        assert_eq!(pool.shell_count(), 0, "the next payload must reuse the retired shell");
     }
 
     #[test]

@@ -67,6 +67,14 @@ impl JobSpec {
         self
     }
 
+    /// Set the mailbox lane-promotion threshold (`0` disables SPSC lanes,
+    /// `1` promotes a signature on its first exact claim; the default is
+    /// [`crate::mailbox::PROMOTE_AFTER`]).
+    pub fn lane_promote(mut self, after: u32) -> Self {
+        self.net = self.net.lane_promote(after);
+        self
+    }
+
     /// Select the rank scheduler.
     pub fn sched(mut self, s: SchedMode) -> Self {
         self.sched = s;

@@ -10,7 +10,9 @@
 mod util;
 
 use c3::{C3Config, C3Ctx, C3Error, ChaosPlan, CkptPolicy, Clock, FailAt, FailurePlan, Job};
-use mpisim::{JobError, JobSpec, NetModel, BACKPRESSURE_DEADLOCK_MARKER};
+use mpisim::{
+    JobError, JobSpec, NetModel, SchedMode, ANY_SOURCE, BACKPRESSURE_DEADLOCK_MARKER, COMM_WORLD,
+};
 use proptest::prelude::*;
 use statesave::codec::{Decoder, Encoder};
 use util::TempStore;
@@ -227,6 +229,56 @@ fn parked_send_across_a_checkpoint_pragma_is_logged_late() {
     assert_eq!(committed, 1, "the round must commit under backpressure");
     let (_, parked) = out.results[0];
     assert!(parked > 0, "capacity 1 with a deferred receiver must park the sender");
+}
+
+/// A freed credit wakes exactly the FIFO ticket head. The park order is
+/// forced to rank 2 → rank 3 (each successor is released only after the
+/// network has observed the predecessor's ticket via `sends_parked`), so
+/// every claim at the receiver must grant the earlier ticket first and the
+/// wildcard drain must observe sources 1, 2, 3 — deterministically, every
+/// round. Under the old `notify_all` broadcast this order was still
+/// enforced by the ticket check, but the wakeup itself was a thundering
+/// herd; this pins the observable contract the targeted
+/// `notify_one`-to-the-head implementation must keep.
+#[test]
+fn credit_return_wakes_the_ticket_head_in_fifo_order() {
+    use std::sync::atomic::Ordering;
+    for round in 0..8 {
+        let spec = JobSpec::new(4).mailbox_capacity(1).sched(SchedMode::ThreadPerRank);
+        let out = mpisim::launch(&spec, |ctx| {
+            let (go, payload) = (9, 5);
+            if ctx.rank() == 0 {
+                let net = std::sync::Arc::clone(ctx.network());
+                // Rank 1's payload takes the only credit...
+                ctx.send(1, go, &[1u64])?;
+                while ctx.iprobe(1, payload, COMM_WORLD)?.is_none() {
+                    std::thread::yield_now();
+                }
+                // ...rank 2 parks behind it (earlier ticket)...
+                ctx.send(2, go, &[1u64])?;
+                while net.sends_parked.load(Ordering::Relaxed) < 1 {
+                    std::thread::yield_now();
+                }
+                // ...then rank 3 (later ticket).
+                ctx.send(3, go, &[1u64])?;
+                while net.sends_parked.load(Ordering::Relaxed) < 2 {
+                    std::thread::yield_now();
+                }
+                let mut order = Vec::new();
+                for _ in 0..3 {
+                    let (_, st) = ctx.recv_bytes(ANY_SOURCE, payload, COMM_WORLD)?;
+                    order.push(st.src);
+                }
+                assert_eq!(order, vec![1, 2, 3], "round {round}: grant left FIFO ticket order");
+            } else {
+                ctx.recv::<u64>(0, go)?;
+                let me = ctx.rank() as u64;
+                ctx.send(0, payload, &[me])?;
+            }
+            Ok(0u64)
+        });
+        out.unwrap_or_else(|e| panic!("round {round}: {e}"));
+    }
 }
 
 /// A peer dies while a bounded-mailbox flood is in flight: rank 0 runs

@@ -432,6 +432,79 @@ mod mailbox_model {
             prop_assert!(mb.is_empty());
         }
 
+        /// The SPSC-lane layer must be invisible to observers: with an
+        /// aggressive promotion threshold (every exact claim streak of 1–3
+        /// promotes a lane, and wildcards demote them again), any
+        /// interleaving of single deliveries, batched deliveries, exact
+        /// claims, and wildcard claims still matches the linear-scan
+        /// reference envelope-for-envelope. Batches enter the reference in
+        /// vec order, which is the determinism contract for
+        /// `deliver_batch`.
+        #[test]
+        fn lane_promotion_and_demotion_match_linear_scan_reference(
+            promote_after in 1u32..4,
+            ops in proptest::collection::vec(
+                (0u8..3, 0usize..4, 0i32..3, any::<bool>(), any::<bool>(), 1usize..5),
+                1..250,
+            ),
+        ) {
+            let mb = Mailbox::with_promote_after(promote_after);
+            let mut reference: Vec<Envelope> = Vec::new();
+            let mut label = 0u64;
+            for (kind, src, tag, wild_src, wild_tag, blen) in ops {
+                match kind {
+                    0 => {
+                        // Single delivery.
+                        let e = mk_env(src, tag, label);
+                        label += 1;
+                        mb.deliver(e.clone());
+                        reference.push(e);
+                    }
+                    1 => {
+                        // Batched delivery: same destination, mixed
+                        // signatures; arrival stamps must follow vec order.
+                        let mut batch = Vec::with_capacity(blen);
+                        for i in 0..blen {
+                            let e = mk_env((src + i) % 4, tag, label);
+                            label += 1;
+                            reference.push(e.clone());
+                            batch.push(e);
+                        }
+                        mb.deliver_batch(batch);
+                    }
+                    _ => {
+                        let qsrc = if wild_src { ANY_SOURCE } else { src as i32 };
+                        let qtag = if wild_tag { ANY_TAG } else { tag };
+                        let expect_probe = reference
+                            .iter()
+                            .find(|e| e.matches(qsrc, qtag, COMM_WORLD))
+                            .map(|e| (e.src, e.tag, e.payload.len()));
+                        prop_assert_eq!(mb.probe(qsrc, qtag, COMM_WORLD), expect_probe);
+                        let expected = reference
+                            .iter()
+                            .position(|e| e.matches(qsrc, qtag, COMM_WORLD))
+                            .map(|i| reference.remove(i));
+                        let got = mb.try_claim(qsrc, qtag, COMM_WORLD);
+                        prop_assert_eq!(
+                            expected.as_ref().map(|e| (e.src, e.tag, e.seq)),
+                            got.as_ref().map(|g| (g.src, g.tag, g.seq)),
+                            "lane-enabled claim (src {}, tag {}) diverged",
+                            qsrc,
+                            qtag
+                        );
+                        prop_assert_eq!(mb.len(), reference.len());
+                    }
+                }
+            }
+            // Wildcard drain sees global arrival order even when part of a
+            // signature's queue lives in a lane and part on the shelf.
+            for e in reference {
+                let g = mb.try_claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).unwrap();
+                prop_assert_eq!((e.src, e.tag, e.seq), (g.src, g.tag, g.seq));
+            }
+            prop_assert!(mb.is_empty());
+        }
+
         /// Per-signature FIFO survives the indexed rewrite: draining any one
         /// signature with exact claims yields its labels in send order.
         #[test]
