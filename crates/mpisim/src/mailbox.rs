@@ -44,8 +44,13 @@
 //! fault/reorder stage locks. The lane's own mutex makes the structure safe
 //! even if a caller outside the network breaks that discipline.
 //!
-//! Together with the posted-order scan in the request engine this reproduces
-//! MPI's matching rules.
+//! Because lane producers bypass the shelf mutex, a multi-claim pass (the
+//! request engine's posted-order scan under [`Mailbox::lock`]) snapshots
+//! the arrival counter and only claims envelopes stamped below it: the
+//! pass matches against a frozen mailbox, so a lane arrival mid-scan can
+//! never be handed to a later-posted receive ahead of an earlier-posted
+//! one that already looked. Together with the posted-order scan in the
+//! request engine this reproduces MPI's matching rules.
 
 use crate::envelope::{Envelope, Signature};
 use crate::network::Backpressure;
@@ -98,8 +103,14 @@ impl Lane {
         })
     }
 
-    fn push(&self, arrival: u64, env: Envelope) {
+    /// Append an envelope, drawing its arrival stamp from `counter` *inside
+    /// the lane critical section*. Stamping under the lock keeps the queue
+    /// sorted by stamp even if two producers race, and guarantees snapshot
+    /// consumers ([`Mailbox::lock`]) that once they hold this lock, every
+    /// envelope stamped below their ceiling is visible in the queue.
+    fn push(&self, counter: &AtomicU64, env: Envelope) {
         let mut q = self.q.lock();
+        let arrival = counter.fetch_add(1, Ordering::Relaxed);
         if q.is_empty() {
             self.front.store(arrival, Ordering::Release);
         }
@@ -142,13 +153,27 @@ struct Shelves {
 
 impl Shelves {
     fn push(&mut self, arrival: u64, env: Envelope) {
+        use std::collections::hash_map::Entry;
         let sig = env.signature();
-        let q = self.queues.entry(sig).or_default();
-        if q.is_empty() {
-            self.idle_queues = self.idle_queues.saturating_sub(1);
-            self.fronts.insert(arrival, sig);
+        match self.queues.entry(sig) {
+            Entry::Occupied(e) => {
+                let q = e.into_mut();
+                if q.is_empty() {
+                    // Reviving a retained-idle queue: it leaves the idle set.
+                    // (A freshly created queue was never counted, so the
+                    // decrement lives only on this arm — otherwise the
+                    // counter drifts low and the retention bound in
+                    // `pop_shelf` never saturates.)
+                    self.idle_queues = self.idle_queues.saturating_sub(1);
+                    self.fronts.insert(arrival, sig);
+                }
+                q.push_back(Stamped { arrival, env });
+            }
+            Entry::Vacant(e) => {
+                self.fronts.insert(arrival, sig);
+                e.insert(VecDeque::new()).push_back(Stamped { arrival, env });
+            }
         }
-        q.push_back(Stamped { arrival, env });
     }
 
     /// Front arrival stamp of `sig`'s shelf queue, if non-empty.
@@ -177,19 +202,29 @@ impl Shelves {
         stamped.env
     }
 
-    /// The matching signature whose shelf-front envelope arrived earliest,
-    /// with its stamp.
-    fn best_shelf(&self, src: i32, tag: Tag, comm: CommId) -> Option<(u64, Signature)> {
+    /// The matching signature whose shelf-front envelope arrived earliest
+    /// (stamped below `ceiling`), with its stamp. Queues are FIFO by stamp,
+    /// so a front at or past the ceiling hides its whole queue.
+    fn best_shelf(
+        &self,
+        src: i32,
+        tag: Tag,
+        comm: CommId,
+        ceiling: u64,
+    ) -> Option<(u64, Signature)> {
         if src != ANY_SOURCE && tag != ANY_TAG {
             // Exact signature: single hash lookup.
             let sig = Signature { src: src as Rank, tag, comm };
-            return self.shelf_front(&sig).map(|stamp| (stamp, sig));
+            return self
+                .shelf_front(&sig)
+                .filter(|stamp| *stamp < ceiling)
+                .map(|stamp| (stamp, sig));
         }
         // Wildcard: fronts in ascending arrival order; the first matching
         // front is the earliest matching message overall, because any later
         // message of the same signature sits behind its queue's front.
         self.fronts
-            .iter()
+            .range(..ceiling)
             .find(|(_, sig)| sig_matches(sig, src, tag, comm))
             .map(|(stamp, sig)| (*stamp, *sig))
     }
@@ -291,18 +326,19 @@ impl Mailbox {
 
     /// Deliver an envelope (called by the network from any thread).
     pub fn deliver(&self, env: Envelope) {
+        // Count before publishing: a concurrent claim's decrement can then
+        // never land first and transiently wrap `total` (len()/is_empty()
+        // may briefly overreport instead, which callers tolerate — they
+        // just find nothing and re-check).
+        self.total.fetch_add(1, Ordering::Release);
         match self.active_lane(&env.signature()) {
-            Some(lane) => {
-                let arrival = self.next_arrival.fetch_add(1, Ordering::Relaxed);
-                lane.push(arrival, env);
-            }
+            Some(lane) => lane.push(&self.next_arrival, env),
             None => {
                 let mut sh = self.inner.lock();
                 let arrival = self.next_arrival.fetch_add(1, Ordering::Relaxed);
                 sh.push(arrival, env);
             }
         }
-        self.total.fetch_add(1, Ordering::Release);
         if self.polled.load(Ordering::Relaxed) {
             self.cv.notify_all();
         }
@@ -316,14 +352,12 @@ impl Mailbox {
         if envs.is_empty() {
             return;
         }
-        let n = envs.len();
+        // Count before publishing — same wrap-avoidance as `deliver`.
+        self.total.fetch_add(envs.len(), Ordering::Release);
         let mut sh: Option<MutexGuard<'_, Shelves>> = None;
         for env in envs {
             match self.active_lane(&env.signature()) {
-                Some(lane) => {
-                    let arrival = self.next_arrival.fetch_add(1, Ordering::Relaxed);
-                    lane.push(arrival, env);
-                }
+                Some(lane) => lane.push(&self.next_arrival, env),
                 None => {
                     let sh = sh.get_or_insert_with(|| self.inner.lock());
                     let arrival = self.next_arrival.fetch_add(1, Ordering::Relaxed);
@@ -332,21 +366,34 @@ impl Mailbox {
             }
         }
         drop(sh);
-        self.total.fetch_add(n, Ordering::Release);
         if self.polled.load(Ordering::Relaxed) {
             self.cv.notify_all();
         }
     }
 
     /// The combined claim over shelves and lanes: take the matching
-    /// envelope with the smallest front stamp, run the lane
+    /// envelope with the smallest front stamp below `ceiling`, run the lane
     /// promotion/demotion bookkeeping, and maintain the total. Runs under
     /// the shelf lock (the guard), which serializes all consumers.
-    fn claim_locked(&self, sh: &mut Shelves, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
+    ///
+    /// `ceiling` is `u64::MAX` for one-shot claims; a [`MailboxGuard`]
+    /// passes its arrival-counter snapshot so a multi-claim pass sees a
+    /// frozen mailbox even though lane deliveries bypass the shelf mutex.
+    fn claim_locked(
+        &self,
+        sh: &mut Shelves,
+        src: i32,
+        tag: Tag,
+        comm: CommId,
+        ceiling: u64,
+    ) -> Option<Envelope> {
         let exact = src != ANY_SOURCE && tag != ANY_TAG;
-        let shelf_best = sh.best_shelf(src, tag, comm);
+        let shelf_best = sh.best_shelf(src, tag, comm, ceiling);
         // Lane fronts: for exact claims only the one signature can match;
-        // wildcards scan every lane (bounded by MAX_LANES).
+        // wildcards scan every lane (bounded by MAX_LANES). Unbounded claims
+        // read the mirrored front atomics; snapshot claims take each lane
+        // lock, which serializes with in-flight pushes so an envelope
+        // stamped below the ceiling is never missed mid-publish.
         let lane_best: Option<Arc<Lane>> = {
             let lanes = self.lanes.read();
             let mut best: Option<(u64, &Arc<Lane>)> = None;
@@ -354,8 +401,12 @@ impl Mailbox {
                 if !sig_matches(&l.sig, src, tag, comm) {
                     continue;
                 }
-                let front = l.front.load(Ordering::Acquire);
-                if front != u64::MAX && best.is_none_or(|(b, _)| front < b) {
+                let front = if ceiling == u64::MAX {
+                    l.front.load(Ordering::Acquire)
+                } else {
+                    l.q.lock().front().map_or(u64::MAX, |s| s.arrival)
+                };
+                if front < ceiling && best.is_none_or(|(b, _)| front < b) {
                     best = Some((front, l));
                 }
             }
@@ -425,7 +476,7 @@ impl Mailbox {
         tag: Tag,
         comm: CommId,
     ) -> Option<(Rank, Tag, usize)> {
-        let shelf_best = sh.best_shelf(src, tag, comm);
+        let shelf_best = sh.best_shelf(src, tag, comm, u64::MAX);
         let lanes = self.lanes.read();
         let mut best: Option<(u64, (Rank, Tag, usize))> = shelf_best.map(|(stamp, sig)| {
             let front = &sh.queues[&sig].front().expect("fronts index a non-empty queue").env;
@@ -449,7 +500,7 @@ impl Mailbox {
     pub fn try_claim(&self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
         let env = {
             let mut sh = self.inner.lock();
-            self.claim_locked(&mut sh, src, tag, comm)?
+            self.claim_locked(&mut sh, src, tag, comm, u64::MAX)?
         };
         self.release_credit(&env);
         Some(env)
@@ -464,9 +515,23 @@ impl Mailbox {
 
     /// Hold the mailbox lock across several matching operations. Used by the
     /// request engine to perform posted-order matching of multiple pending
-    /// receives atomically with respect to concurrent shelf deliveries.
+    /// receives atomically with respect to concurrent deliveries.
+    ///
+    /// Lane deliveries bypass the shelf mutex, so the guard also snapshots
+    /// the arrival counter at acquisition: claims through the guard see only
+    /// envelopes stamped below that ceiling. A message landing in a lane
+    /// mid-pass is therefore invisible to the *whole* pass — a later-posted
+    /// receive can never claim it after an earlier-posted matching receive
+    /// already looked and found nothing. It is matched by the next pass,
+    /// which re-scans posted receives from the front under a fresh snapshot.
     pub fn lock(&self) -> MailboxGuard<'_> {
-        MailboxGuard { inner: self.inner.lock(), owner: self }
+        let inner = self.inner.lock();
+        // Read after acquiring the shelf lock: shelf stamps are assigned
+        // under that lock and lane stamps under their lane lock, so every
+        // envelope stamped below this ceiling is observable once the
+        // matching queue's lock is (re)taken.
+        let ceiling = self.next_arrival.load(Ordering::Acquire);
+        MailboxGuard { inner, owner: self, ceiling }
     }
 
     /// Block until the mailbox might have changed, or `timeout` elapses.
@@ -516,15 +581,19 @@ impl Mailbox {
 pub struct MailboxGuard<'a> {
     inner: MutexGuard<'a, Shelves>,
     owner: &'a Mailbox,
+    /// Arrival stamps at or past this value were delivered after the guard
+    /// was taken and stay invisible to its claims (see [`Mailbox::lock`]).
+    ceiling: u64,
 }
 
 impl MailboxGuard<'_> {
-    /// Claim the earliest-arrived matching envelope under the held lock.
+    /// Claim the earliest-arrived matching envelope under the held lock,
+    /// restricted to envelopes delivered before the guard was taken.
     /// Under backpressure the claimed envelope's delivery credit is
     /// returned immediately (lock order mailbox → ledger is the only
     /// nesting of the two).
     pub fn claim(&mut self, src: i32, tag: Tag, comm: CommId) -> Option<Envelope> {
-        let env = self.owner.claim_locked(&mut self.inner, src, tag, comm)?;
+        let env = self.owner.claim_locked(&mut self.inner, src, tag, comm, self.ceiling)?;
         self.owner.release_credit(&env);
         Some(env)
     }
@@ -742,6 +811,48 @@ mod tests {
             assert_eq!(mb.try_claim(1, 5, COMM_WORLD).unwrap().seq, seq);
         }
         assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn guard_snapshot_hides_lane_deliveries_made_during_the_guard() {
+        // The posted-order scan holds a MailboxGuard while checking posted
+        // receives one by one. A lane delivery bypasses the shelf mutex, so
+        // without the snapshot ceiling it could surface halfway through the
+        // scan and be claimed by a later-posted receive after an
+        // earlier-posted matching receive already looked and found nothing.
+        let mb = Mailbox::with_promote_after(1);
+        mb.deliver(env(1, 5, 0));
+        mb.try_claim(1, 5, COMM_WORLD).unwrap(); // promotes (1,5)
+        assert_eq!(lane_count(&mb, true), 1);
+        let mut g = mb.lock();
+        mb.deliver(env(1, 5, 1)); // lands in the lane, shelf lock not needed
+        assert!(
+            g.claim(1, 5, COMM_WORLD).is_none(),
+            "a mid-guard lane arrival must stay invisible to the whole pass"
+        );
+        assert!(g.claim(ANY_SOURCE, ANY_TAG, COMM_WORLD).is_none());
+        drop(g);
+        // The next pass runs under a fresh snapshot and matches it.
+        assert_eq!(mb.try_claim(1, 5, COMM_WORLD).unwrap().seq, 1);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn retained_empty_queue_bound_holds_across_many_signatures() {
+        // Drain one message per distinct signature: each pop leaves an empty
+        // queue, and only RETAINED_EMPTY_QUEUES of them may stay allocated.
+        let mb = Mailbox::with_promote_after(LANES_OFF);
+        for i in 0..RETAINED_EMPTY_QUEUES + 50 {
+            mb.deliver(env(i, 1, 0));
+            mb.try_claim(i as i32, 1, COMM_WORLD).unwrap();
+        }
+        let sh = mb.inner.lock();
+        assert_eq!(sh.idle_queues, RETAINED_EMPTY_QUEUES);
+        assert_eq!(
+            sh.queues.len(),
+            RETAINED_EMPTY_QUEUES,
+            "emptied queues beyond the retention bound must be freed"
+        );
     }
 
     #[test]

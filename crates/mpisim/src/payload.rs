@@ -93,11 +93,17 @@ impl GlobalArena {
 
     fn put(&self, mut vec: Vec<u8>) {
         let cap = vec.capacity();
-        if cap == 0 || self.bytes.load(Ordering::Relaxed) + cap > self.cap_bytes {
-            return; // full (or disabled): let the allocator have it
+        if cap == 0 || self.cap_bytes == 0 {
+            return; // nothing to keep (or arena disabled)
+        }
+        // Reserve the bytes atomically — optimistic add, undo on overshoot —
+        // so concurrent puts cannot collectively exceed the cap the way a
+        // separate load-then-add would.
+        if self.bytes.fetch_add(cap, Ordering::Relaxed) + cap > self.cap_bytes {
+            self.bytes.fetch_sub(cap, Ordering::Relaxed);
+            return; // full: let the allocator have it
         }
         vec.clear();
-        self.bytes.fetch_add(cap, Ordering::Relaxed);
         self.shelves[shelf_for(cap)].lock().unwrap_or_else(|e| e.into_inner()).push(vec);
     }
 }

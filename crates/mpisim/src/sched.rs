@@ -443,16 +443,17 @@ mod tests {
                 out
             });
             // Wait until rank 0 is committed-blocked, then rank 1's park
-            // must not sleep: it is the last runnable rank.
+            // must not sleep: it is the last runnable rank. (Parking before
+            // rank 0 commits would itself commit — and nothing ever wakes
+            // rank 1 — so the wait must watch the committed flag, not race
+            // the park.)
             let s2 = Arc::clone(&s);
             s2.enter();
-            loop {
-                let seen = s2.epoch(1);
-                match s2.park(1, seen) {
-                    Parked::Quiescent => break,
-                    Parked::Ran => std::thread::yield_now(),
-                }
+            while !s2.ev.as_ref().unwrap().parkers[0].st.lock().committed {
+                std::thread::yield_now();
             }
+            let seen = s2.epoch(1);
+            assert_eq!(s2.park(1, seen), Parked::Quiescent);
             s2.wake(0);
             s2.leave();
             assert_eq!(h.join().unwrap(), Parked::Ran);
@@ -471,18 +472,11 @@ mod tests {
                 s1.leave();
                 out
             });
-            // Spin until rank 0 commits, then "exit" rank 1: the exit must
-            // flag that everyone left alive is blocked.
-            loop {
-                let seen = s.epoch(1);
-                if let Parked::Quiescent = {
-                    s.enter();
-                    let o = s.park(1, seen);
-                    s.leave();
-                    o
-                } {
-                    break;
-                }
+            // Wait until rank 0 commits, then "exit" rank 1: the exit must
+            // flag that everyone left alive is blocked. (Parking rank 1 to
+            // detect this would commit rank 1 forever if it won the race,
+            // so watch the committed flag directly.)
+            while !s.ev.as_ref().unwrap().parkers[0].st.lock().committed {
                 std::thread::yield_now();
             }
             assert!(s.rank_exit(), "rank 0 is blocked; exiting rank 1 must report quiescence");
