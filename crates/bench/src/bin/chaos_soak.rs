@@ -24,10 +24,16 @@
 //! reduction machinery itself stays exercised while the protocol is
 //! healthy.
 //!
+//! The sweep also crosses a **checkpoint-mode axis** — `CkptMode::Full`
+//! against `CkptMode::Incremental { every_n: 4 }` with plane-compressed
+//! deltas — so every seed validates recovery through delta chains and the
+//! harness measures what the incremental representation saves.
+//!
 //! Emits `BENCH_recovery.json` (working directory or `$BENCH_OUT_DIR`) with
-//! per-(kernel, network) restart counts and §6.5-style restart-cost
-//! percentiles (`last_commit_wall_ns` of the surviving incarnation), each
-//! entry recording the network model it ran under.
+//! per-(kernel, network, ckpt mode) restart counts, §6.5-style restart-cost
+//! percentiles (`last_commit_wall_ns` of the surviving incarnation), and
+//! checkpoint-volume percentiles (`ckpt_line_bytes` summed across ranks),
+//! each entry recording the network model and checkpoint mode it ran under.
 //!
 //! ```text
 //! chaos_soak [--seeds N] [--base-seed S] [--quick] [--jobs J] [--kernels cg,ft,...]
@@ -80,6 +86,36 @@ impl NetMode {
     }
 }
 
+/// The checkpoint-representation axis of the sweep ([`c3::CkptMode`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ModeAxis {
+    /// Every commit writes the full line sections (the seed's behavior).
+    Full,
+    /// Base-plus-delta chains of length 4 with plane-compressed payloads —
+    /// the configuration the incremental-checkpointing claims are made on.
+    Incr4,
+}
+
+impl ModeAxis {
+    const ALL: [ModeAxis; 2] = [ModeAxis::Full, ModeAxis::Incr4];
+
+    fn apply(self, cfg: C3Config) -> C3Config {
+        match self {
+            ModeAxis::Full => cfg,
+            ModeAxis::Incr4 => {
+                cfg.ckpt_mode(c3::CkptMode::Incremental { every_n: 4 }).compress_deltas()
+            }
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ModeAxis::Full => "full",
+            ModeAxis::Incr4 => "incr4",
+        }
+    }
+}
+
 /// One chaos run's observables.
 struct RunOutcome {
     /// Per-rank result bits (bit-exact comparison basis).
@@ -89,6 +125,10 @@ struct RunOutcome {
     /// Wall ns from final-incarnation start to its last checkpoint commit,
     /// max across ranks (0 when the surviving incarnation never committed).
     wall_ns: u64,
+    /// Recovery-line state bytes written by the surviving incarnation,
+    /// summed across ranks (`C3Stats::ckpt_line_bytes`): the per-mode
+    /// checkpoint volume, excluding the mode-independent late log.
+    ckpt_bytes: u64,
 }
 
 /// The failure-free raw-substrate run of one kernel.
@@ -100,17 +140,22 @@ type ChaosFn = Box<dyn Fn(&Job, &ChaosPlan) -> Result<RunOutcome, String> + Send
 struct Kernel {
     name: &'static str,
     nranks: usize,
+    /// Commit cadence (`CkptPolicy::EveryNth`). Most kernels commit every
+    /// third pragma; the state-carrying volume kernels (bt, smg) commit at
+    /// every pragma so delta chains track pragma-to-pragma state drift.
+    every: u64,
     space: ChaosSpace,
     baseline: BaselineFn,
     chaos: ChaosFn,
 }
 
 macro_rules! kernel {
-    ($name:literal, $module:ident, $nranks:expr, $cfg:expr, $max_pragma:expr, $max_op:expr) => {{
+    ($name:literal, $module:ident, $nranks:expr, $every:expr, $cfg:expr, $max_pragma:expr, $max_op:expr) => {{
         let cfg = $cfg;
         Kernel {
             name: $name,
             nranks: $nranks,
+            every: $every,
             space: ChaosSpace { nranks: $nranks, max_pragma: $max_pragma, max_op: $max_op },
             baseline: Box::new(move |spec| {
                 let out = mpisim::launch(spec, move |ctx| npb::$module::run(ctx, &cfg))
@@ -123,14 +168,16 @@ macro_rules! kernel {
                     .chaos(plan.clone())
                     .run(move |ctx| {
                         let r = npb::$module::run(ctx, &cfg).map_err(C3Error::Mpi)?;
-                        Ok((r, ctx.stats().last_commit_wall_ns))
+                        let s = ctx.stats();
+                        Ok((r, s.last_commit_wall_ns, s.ckpt_line_bytes))
                     })
                     .map_err(|e| e.to_string())?;
                 Ok(RunOutcome {
-                    bits: rec.handle.results.iter().map(|(r, _)| r.to_bits()).collect(),
+                    bits: rec.handle.results.iter().map(|(r, _, _)| r.to_bits()).collect(),
                     restarts: rec.restarts,
                     fired: rec.faults_fired,
-                    wall_ns: rec.handle.results.iter().map(|(_, w)| *w).max().unwrap_or(0),
+                    wall_ns: rec.handle.results.iter().map(|(_, w, _)| *w).max().unwrap_or(0),
+                    ckpt_bytes: rec.handle.results.iter().map(|(_, _, b)| *b).sum(),
                 })
             }),
         }
@@ -144,77 +191,116 @@ macro_rules! kernel {
 fn kernels(quick: bool) -> Vec<Kernel> {
     if quick {
         vec![
-            kernel!("cg", cg, 3, npb::cg::CgConfig { n: 48, iters: 6 }, 6, 150),
-            kernel!("lu", lu, 4, npb::lu::LuConfig::class(npb::Class::S), 8, 150),
-            kernel!("sp", sp, 3, npb::sp::SpConfig { n: 24, steps: 6, lambda: 0.4 }, 6, 150),
+            kernel!("cg", cg, 3, 3, npb::cg::CgConfig { n: 48, iters: 6 }, 6, 150),
+            kernel!("lu", lu, 4, 3, npb::lu::LuConfig::class(npb::Class::S), 8, 150),
+            kernel!("sp", sp, 3, 3, npb::sp::SpConfig { n: 24, steps: 6, lambda: 0.4 }, 6, 150),
             kernel!(
                 "bt",
                 bt,
                 3,
+                1,
                 npb::bt::BtConfig { n: 15, steps: 4, lambda: 0.35, kappa: 0.1 },
                 4,
                 120
             ),
-            kernel!("mg", mg, 4, npb::mg::MgConfig { log2_n: 6, cycles: 4, smooth: 2 }, 4, 150),
-            kernel!("ft", ft, 4, npb::ft::FtConfig { n: 16, steps: 4, alpha: 1e-4 }, 4, 120),
+            kernel!("mg", mg, 4, 3, npb::mg::MgConfig { log2_n: 6, cycles: 4, smooth: 2 }, 4, 150),
+            kernel!("ft", ft, 4, 3, npb::ft::FtConfig { n: 16, steps: 4, alpha: 1e-4 }, 4, 120),
             kernel!(
                 "is",
                 is,
                 4,
+                3,
                 npb::is::IsConfig { total_keys: 1024, max_key: 2048, iters: 4 },
                 4,
                 120
             ),
-            kernel!("ep", ep, 1, npb::ep::EpConfig { m_per_block: 10, blocks: 8 }, 8, 60),
-            kernel!("smg", smg, 4, npb::smg::SmgConfig { log2_n: 6, iters: 4, smooth: 2 }, 8, 150),
-            kernel!("hpl", hpl, 4, npb::hpl::HplConfig { n: 24 }, 24, 150),
+            kernel!("ep", ep, 1, 3, npb::ep::EpConfig { m_per_block: 10, blocks: 8 }, 8, 60),
+            kernel!(
+                "smg",
+                smg,
+                4,
+                1,
+                npb::smg::SmgConfig { log2_n: 6, iters: 4, smooth: 2 },
+                8,
+                150
+            ),
+            kernel!("hpl", hpl, 4, 3, npb::hpl::HplConfig { n: 24 }, 24, 150),
         ]
     } else {
         vec![
-            kernel!("cg", cg, 4, npb::cg::CgConfig { n: 96, iters: 8 }, 8, 300),
-            kernel!("lu", lu, 4, npb::lu::LuConfig::class(npb::Class::S), 10, 300),
-            kernel!("sp", sp, 4, npb::sp::SpConfig { n: 32, steps: 8, lambda: 0.4 }, 8, 300),
+            kernel!("cg", cg, 4, 3, npb::cg::CgConfig { n: 96, iters: 8 }, 8, 300),
+            kernel!("lu", lu, 4, 3, npb::lu::LuConfig::class(npb::Class::S), 10, 300),
+            kernel!("sp", sp, 4, 3, npb::sp::SpConfig { n: 32, steps: 8, lambda: 0.4 }, 8, 300),
+            // bt/mg/smg carry real grid state and run long enough for the
+            // incremental mode to build full base-plus-delta chains — the
+            // configurations the checkpoint-volume comparison in
+            // BENCH_recovery.json is made on. bt and smg commit at every
+            // pragma (delta = one step/iteration of drift); mg commits every
+            // third pragma (delta = one V-cycle of drift). bt's 64 steps let
+            // the symmetrically-coupled field contract onto its forcing
+            // steady state, where late-chain deltas collapse.
             kernel!(
                 "bt",
                 bt,
                 3,
-                npb::bt::BtConfig { n: 21, steps: 6, lambda: 0.35, kappa: 0.1 },
-                6,
+                1,
+                npb::bt::BtConfig { n: 21, steps: 64, lambda: 0.35, kappa: 0.7 },
+                12,
                 250
             ),
-            kernel!("mg", mg, 4, npb::mg::MgConfig { log2_n: 8, cycles: 6, smooth: 2 }, 6, 300),
-            kernel!("ft", ft, 4, npb::ft::FtConfig { n: 32, steps: 6, alpha: 1e-4 }, 6, 250),
+            kernel!(
+                "mg",
+                mg,
+                4,
+                3,
+                npb::mg::MgConfig { log2_n: 12, cycles: 36, smooth: 2 },
+                12,
+                300
+            ),
+            kernel!("ft", ft, 4, 3, npb::ft::FtConfig { n: 32, steps: 6, alpha: 1e-4 }, 6, 250),
             kernel!(
                 "is",
                 is,
                 4,
+                3,
                 npb::is::IsConfig { total_keys: 2048, max_key: 4096, iters: 6 },
                 6,
                 250
             ),
-            kernel!("ep", ep, 1, npb::ep::EpConfig { m_per_block: 10, blocks: 12 }, 12, 80),
-            kernel!("smg", smg, 4, npb::smg::SmgConfig { log2_n: 8, iters: 6, smooth: 2 }, 10, 300),
-            kernel!("hpl", hpl, 4, npb::hpl::HplConfig { n: 40 }, 40, 300),
+            kernel!("ep", ep, 1, 3, npb::ep::EpConfig { m_per_block: 10, blocks: 12 }, 12, 80),
+            kernel!(
+                "smg",
+                smg,
+                4,
+                1,
+                npb::smg::SmgConfig { log2_n: 8, iters: 24, smooth: 2 },
+                10,
+                300
+            ),
+            kernel!("hpl", hpl, 4, 3, npb::hpl::HplConfig { n: 40 }, 40, 300),
         ]
     }
 }
 
-fn chaos_cfg(store: &TempStore) -> C3Config {
-    C3Config {
+fn chaos_cfg(store: &TempStore, mode: ModeAxis, every: u64) -> C3Config {
+    mode.apply(C3Config {
         store_root: store.path().to_path_buf(),
         write_disk: true,
         // Every rank applies the policy: concurrent initiations exercise
         // the §4.5 "any process may initiate" interleavings under fire.
-        policy: CkptPolicy::EveryNth(3),
+        policy: CkptPolicy::EveryNth(every),
         initiator: None,
         clock: Clock::Wall,
-    }
+        ckpt_mode: c3::CkptMode::Full,
+        delta_compress: false,
+    })
 }
 
 /// One sweep record.
 struct Record {
     kernel: usize,
     net: NetMode,
+    mode: ModeAxis,
     seed: u64,
     plan: ChaosPlan,
     outcome: Result<(RunOutcome, bool), String>, // bool = matches baseline
@@ -311,13 +397,15 @@ fn main() {
     let baselines: Vec<Vec<u64>> =
         kset.iter().map(|k| (k.baseline)(&JobSpec::new(k.nranks))).collect();
 
-    // The sweep: kernels × network modes × seeds, claimed by a fixed-size
-    // worker pool.
-    let tasks: Vec<(usize, NetMode, u64)> = (0..kset.len())
+    // The sweep: kernels × network modes × checkpoint modes × seeds,
+    // claimed by a fixed-size worker pool.
+    let tasks: Vec<(usize, NetMode, ModeAxis, u64)> = (0..kset.len())
         .flat_map(|k| {
-            NetMode::ALL
-                .into_iter()
-                .flat_map(move |net| (0..args.seeds).map(move |s| (k, net, args.base_seed + s)))
+            NetMode::ALL.into_iter().flat_map(move |net| {
+                ModeAxis::ALL.into_iter().flat_map(move |mode| {
+                    (0..args.seeds).map(move |s| (k, net, mode, args.base_seed + s))
+                })
+            })
         })
         .collect();
     let next = AtomicUsize::new(0);
@@ -326,42 +414,53 @@ fn main() {
         for _ in 0..args.jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(kidx, net, seed)) = tasks.get(i) else { break };
+                let Some(&(kidx, net, mode, seed)) = tasks.get(i) else { break };
                 let k = &kset[kidx];
                 let plan = ChaosPlan::from_seed(seed, &k.space);
                 let store = TempStore::new(k.name);
-                let job = Job::new(k.nranks, chaos_cfg(&store)).network(net.model(seed, k.nranks));
+                let job = Job::new(k.nranks, chaos_cfg(&store, mode, k.every))
+                    .network(net.model(seed, k.nranks));
                 let outcome = (k.chaos)(&job, &plan).map(|run| {
                     let ok = run.bits == baselines[kidx];
                     (run, ok)
                 });
-                records.lock().unwrap().push(Record { kernel: kidx, net, seed, plan, outcome });
+                records.lock().unwrap().push(Record {
+                    kernel: kidx,
+                    net,
+                    mode,
+                    seed,
+                    plan,
+                    outcome,
+                });
             });
         }
     });
     // Workers finish in scheduler order; sort so the report, the failing
     // list, and BENCH_recovery.json are byte-stable across identical runs.
     let mut records = records.into_inner().unwrap();
-    records.sort_by_key(|r| (r.kernel, r.net as u8, r.seed));
+    records.sort_by_key(|r| (r.kernel, r.net as u8, r.mode as u8, r.seed));
 
-    // Aggregate per (kernel, network mode).
+    // Aggregate per (kernel, network mode, checkpoint mode).
     let mut table = Table::new(
         format!(
-            "chaos_soak — {} seeds × {} kernels × {} networks ({} plans)",
+            "chaos_soak — {} seeds × {} kernels × {} networks × {} ckpt modes ({} plans)",
             args.seeds,
             kset.len(),
             NetMode::ALL.len(),
+            ModeAxis::ALL.len(),
             records.len()
         ),
         &[
             ("kernel", Align::Left),
             ("network", Align::Left),
+            ("ckpt", Align::Left),
             ("runs", Align::Right),
             ("diverged", Align::Right),
             ("errors", Align::Right),
             ("faults fired", Align::Right),
             ("max restarts", Align::Right),
             ("restart-cost p50/p99 ms", Align::Right),
+            ("ckpt p50 KB", Align::Right),
         ],
     );
     let mut json_kernels = Vec::new();
@@ -369,71 +468,92 @@ fn main() {
     let mut failing: Vec<&Record> = Vec::new();
     for (kidx, k) in kset.iter().enumerate() {
         for net in NetMode::ALL {
-            let mine: Vec<&Record> =
-                records.iter().filter(|r| r.kernel == kidx && r.net == net).collect();
-            let mut diverged = 0usize;
-            let mut errors = 0usize;
-            let mut fired = 0u64;
-            let mut max_restarts = 0u32;
-            let mut hist: Vec<u64> = Vec::new();
-            let mut costs: Vec<u64> = Vec::new();
-            for r in &mine {
-                match &r.outcome {
-                    Ok((run, ok)) => {
-                        if !ok {
-                            diverged += 1;
+            for mode in ModeAxis::ALL {
+                let mine: Vec<&Record> = records
+                    .iter()
+                    .filter(|r| r.kernel == kidx && r.net == net && r.mode == mode)
+                    .collect();
+                let mut diverged = 0usize;
+                let mut errors = 0usize;
+                let mut fired = 0u64;
+                let mut max_restarts = 0u32;
+                let mut hist: Vec<u64> = Vec::new();
+                let mut costs: Vec<u64> = Vec::new();
+                let mut volumes: Vec<u64> = Vec::new();
+                for r in &mine {
+                    match &r.outcome {
+                        Ok((run, ok)) => {
+                            if !ok {
+                                diverged += 1;
+                                failing.push(r);
+                            }
+                            fired += run.fired as u64;
+                            max_restarts = max_restarts.max(run.restarts);
+                            let slot = run.restarts as usize;
+                            if hist.len() <= slot {
+                                hist.resize(slot + 1, 0);
+                            }
+                            hist[slot] += 1;
+                            if run.wall_ns > 0 {
+                                costs.push(run.wall_ns);
+                            }
+                            volumes.push(run.ckpt_bytes);
+                        }
+                        Err(_) => {
+                            errors += 1;
                             failing.push(r);
                         }
-                        fired += run.fired as u64;
-                        max_restarts = max_restarts.max(run.restarts);
-                        let slot = run.restarts as usize;
-                        if hist.len() <= slot {
-                            hist.resize(slot + 1, 0);
-                        }
-                        hist[slot] += 1;
-                        if run.wall_ns > 0 {
-                            costs.push(run.wall_ns);
-                        }
-                    }
-                    Err(_) => {
-                        errors += 1;
-                        failing.push(r);
                     }
                 }
+                total_diverged += diverged + errors;
+                costs.sort_unstable();
+                volumes.sort_unstable();
+                let (p50, p90, p99) =
+                    (percentile(&costs, 0.50), percentile(&costs, 0.90), percentile(&costs, 0.99));
+                let (b50, b90, b99) = (
+                    percentile(&volumes, 0.50),
+                    percentile(&volumes, 0.90),
+                    percentile(&volumes, 0.99),
+                );
+                table.row(vec![
+                    k.name.to_string(),
+                    net.name().to_string(),
+                    mode.name().to_string(),
+                    mine.len().to_string(),
+                    diverged.to_string(),
+                    errors.to_string(),
+                    fired.to_string(),
+                    max_restarts.to_string(),
+                    format!("{:.2}/{:.2}", p50 as f64 / 1e6, p99 as f64 / 1e6),
+                    format!("{:.1}", b50 as f64 / 1024.0),
+                ]);
+                let hist_json = hist.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+                json_kernels.push(format!(
+                    "    {{\"name\": \"{}\", \"network\": \"{}\", \"ckpt_mode\": \"{}\", \
+                     \"runs\": {}, \"divergences\": {}, \
+                     \"errors\": {}, \"faults_fired\": {}, \"max_restarts\": {}, \
+                     \"restart_histogram\": [{}], \
+                     \"restart_cost_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}, \
+                     \"ckpt_bytes\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
+                    k.name,
+                    net.name(),
+                    mode.name(),
+                    mine.len(),
+                    diverged,
+                    errors,
+                    fired,
+                    max_restarts,
+                    hist_json,
+                    p50,
+                    p90,
+                    p99,
+                    costs.last().copied().unwrap_or(0),
+                    b50,
+                    b90,
+                    b99,
+                    volumes.last().copied().unwrap_or(0),
+                ));
             }
-            total_diverged += diverged + errors;
-            costs.sort_unstable();
-            let (p50, p90, p99) =
-                (percentile(&costs, 0.50), percentile(&costs, 0.90), percentile(&costs, 0.99));
-            table.row(vec![
-                k.name.to_string(),
-                net.name().to_string(),
-                mine.len().to_string(),
-                diverged.to_string(),
-                errors.to_string(),
-                fired.to_string(),
-                max_restarts.to_string(),
-                format!("{:.2}/{:.2}", p50 as f64 / 1e6, p99 as f64 / 1e6),
-            ]);
-            let hist_json = hist.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
-            json_kernels.push(format!(
-                "    {{\"name\": \"{}\", \"network\": \"{}\", \"runs\": {}, \"divergences\": {}, \
-                 \"errors\": {}, \"faults_fired\": {}, \"max_restarts\": {}, \
-                 \"restart_histogram\": [{}], \
-                 \"restart_cost_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
-                k.name,
-                net.name(),
-                mine.len(),
-                diverged,
-                errors,
-                fired,
-                max_restarts,
-                hist_json,
-                p50,
-                p90,
-                p99,
-                costs.last().copied().unwrap_or(0),
-            ));
         }
     }
     table.print();
@@ -445,7 +565,8 @@ fn main() {
         let k = &kset[r.kernel];
         let still_fails = |cand: &ChaosPlan| {
             let store = TempStore::new("shrink");
-            let job = Job::new(k.nranks, chaos_cfg(&store)).network(r.net.model(r.seed, k.nranks));
+            let job = Job::new(k.nranks, chaos_cfg(&store, r.mode, k.every))
+                .network(r.net.model(r.seed, k.nranks));
             match (k.chaos)(&job, cand) {
                 Ok(run) => run.bits != baselines[r.kernel],
                 Err(_) => true,
@@ -457,16 +578,23 @@ fn main() {
             Err(e) => format!("error: {e}"),
         };
         println!(
-            "FAIL {} [{}] seed {}: plan {} shrank to minimal reproduction {} ({why})",
+            "FAIL {} [{}/{}] seed {}: plan {} shrank to minimal reproduction {} ({why})",
             k.name,
             r.net.name(),
+            r.mode.name(),
             r.seed,
             r.plan,
             min
         );
         shrunk_json.push(format!(
-            "    {{\"kernel\": \"{}\", \"network\": \"{}\", \"seed\": {}, \"plan\": \"{}\", \"shrunk\": \"{}\"}}",
-            k.name, r.net.name(), r.seed, r.plan, min
+            "    {{\"kernel\": \"{}\", \"network\": \"{}\", \"ckpt_mode\": \"{}\", \"seed\": {}, \
+             \"plan\": \"{}\", \"shrunk\": \"{}\"}}",
+            k.name,
+            r.net.name(),
+            r.mode.name(),
+            r.seed,
+            r.plan,
+            min
         ));
     }
 

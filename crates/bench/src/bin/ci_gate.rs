@@ -12,21 +12,27 @@
 //! 2. `cargo test --workspace -q` (superset of the tier-1 `cargo test -q`)
 //! 3. `cargo fmt --check`
 //! 4. `cargo clippy --workspace --all-targets -- -D warnings`
-//! 5. `chaos_soak --seeds 32 --quick` (deterministic fault-injection
+//! 5. `RUSTDOCFLAGS="-D warnings" cargo doc --no-deps` (the public API
+//!    documentation must build warning-free: broken intra-doc links and
+//!    undocumented public items gate here)
+//! 6. `chaos_soak --seeds 32 --quick` (deterministic fault-injection
 //!    smoke; writes `BENCH_recovery.json` under `--out-dir`)
-//! 6. `message_path` (fresh run under `--out-dir`, for the ratchet below)
-//! 7. `scaling --smoke` (weak-scaling smoke: cg at 256 ranks under the
+//! 7. `message_path` (fresh run under `--out-dir`, for the ratchet below)
+//! 8. `scaling --smoke` (weak-scaling smoke: cg at 256 ranks under the
 //!    event scheduler; writes `BENCH_scaling.json` under `--out-dir`)
-//! 8. BENCH hygiene: the fresh and the committed `BENCH_recovery.json` /
+//! 9. BENCH hygiene: the fresh and the committed `BENCH_recovery.json` /
 //!    `BENCH_message_path.json` / `BENCH_scaling.json` parse and carry the
-//!    expected schema keys
-//! 9. message-path ratchet: each fresh `ns_per_op` must stay within a
-//!    per-entry tolerance factor of the committed baseline (2× for the
-//!    stable µs-scale scenarios, 3× for the noise-prone ns-scale ones;
-//!    `C3_PERF_RATCHET_FACTOR` overrides all of them), and every committed
-//!    scenario must be present in the fresh run
-//! 10. `recovery_trend` — restart-cost percentiles vs the copy committed at
-//!     `HEAD` (informational report; parse failures gate, noise does not)
+//!    expected schema keys — for the recovery file that includes the
+//!    per-mode `ckpt_mode` and `ckpt_bytes` fields the volume comparison
+//!    reads
+//! 10. message-path ratchet: each fresh `ns_per_op` must stay within a
+//!     per-entry tolerance factor of the committed baseline (2× for the
+//!     stable µs-scale scenarios, 3× for the noise-prone ns-scale ones;
+//!     `C3_PERF_RATCHET_FACTOR` overrides all of them), and every committed
+//!     scenario must be present in the fresh run
+//! 11. `recovery_trend` — restart-cost percentiles and checkpoint volumes
+//!     vs the copy committed at `HEAD` (informational report; parse
+//!     failures gate, noise does not)
 //!
 //! ```text
 //! ci_gate [--skip-build] [--out-dir DIR]
@@ -82,9 +88,11 @@ fn check_bench_schemas(out_dir: &std::path::Path, results: &mut Vec<Step>) {
         "kernels",
         "name",
         "network",
+        "ckpt_mode",
         "runs",
         "restart_histogram",
         "restart_cost_ns",
+        "ckpt_bytes",
         "p50",
         "p90",
         "p99",
@@ -271,6 +279,11 @@ fn main() {
         cargo(&["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"]),
         &mut results,
     );
+    {
+        let mut doc = cargo(&["doc", "--no-deps", "--workspace", "-q"]);
+        doc.env("RUSTDOCFLAGS", "-D warnings");
+        run("cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)", doc, &mut results);
+    }
     {
         let mut soak = cargo(&[
             "run",

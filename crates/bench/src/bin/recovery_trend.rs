@@ -4,9 +4,13 @@
 //! `BENCH_recovery.json` (written by `chaos_soak`) against a baseline copy
 //! — by default the one committed at `HEAD`, i.e. the previous PR's
 //! numbers — the way `BENCH_message_path.json` is tracked for the message
-//! path. Entries are matched on `(kernel, network)`; baseline files from
-//! before the network cross-product (no `"network"` key) match as
-//! `"reliable"`.
+//! path. Entries are matched on `(kernel, network, ckpt mode)`; baseline
+//! files from before the network cross-product (no `"network"` key) match
+//! as `"reliable"`, and files from before the checkpoint-mode axis (no
+//! `"ckpt_mode"` key) match as `"full"`. Checkpoint volumes
+//! (`ckpt_bytes.p50`) are diffed alongside the restart-cost percentiles,
+//! and the report closes with the incremental-vs-full volume ratio per
+//! (kernel, network) — the headline number of the incremental mode.
 //!
 //! ```text
 //! recovery_trend [--current PATH] [--baseline PATH]
@@ -20,15 +24,18 @@
 
 use c3_bench::{Align, Table};
 
-/// One `kernels[]` entry's restart-cost row.
+/// One `kernels[]` entry's restart-cost and checkpoint-volume row.
 #[derive(Clone, Debug, PartialEq)]
 struct Row {
     kernel: String,
     network: String,
+    mode: String,
     runs: u64,
     p50: u64,
     p90: u64,
     p99: u64,
+    /// `ckpt_bytes.p50` — 0 for baselines predating the volume field.
+    bytes_p50: u64,
 }
 
 /// Extract the string value following `"key": "` inside `obj`.
@@ -58,25 +65,33 @@ fn parse(body: &str) -> Result<Vec<Row>, String> {
     let end = tail.find("\"failing_shrunk\"").unwrap_or(tail.len());
     let arr = &tail[..end];
     let mut rows = Vec::new();
-    // Entries start at `{"name":` (modulo whitespace); split on '{' and
-    // stitch the nested restart_cost_ns object back on.
+    // Entries start at `{"name":` (modulo whitespace); one entry spans up
+    // to the next entry's opening (or the array's end). Nested objects
+    // (`restart_cost_ns`, `ckpt_bytes`) are pulled out by key within the
+    // entry slice.
     let mut rest = arr;
     while let Some(open) = rest.find("{\"name\"") {
-        let obj_start = &rest[open..];
-        // The entry spans up to the close of its nested object.
-        let nested = obj_start.find("restart_cost_ns").ok_or("entry without restart_cost_ns")?;
-        let close = obj_start[nested..].find('}').ok_or("unterminated restart_cost_ns")?;
-        let obj = &obj_start[..nested + close + 1];
-        let cost = &obj_start[nested..nested + close + 1];
+        let after = &rest[open..];
+        let entry_end = after[1..].find("{\"name\"").map(|i| i + 1).unwrap_or(after.len());
+        let obj = &after[..entry_end];
+        let nested = |key: &str| -> Option<&str> {
+            let at = obj.find(key)?;
+            let open_b = at + obj[at..].find('{')?;
+            let close = open_b + obj[open_b..].find('}')?;
+            Some(&obj[open_b..=close])
+        };
+        let cost = nested("restart_cost_ns").ok_or("entry without restart_cost_ns")?;
         rows.push(Row {
             kernel: str_field(obj, "name").ok_or("entry without name")?,
             network: str_field(obj, "network").unwrap_or_else(|| "reliable".into()),
+            mode: str_field(obj, "ckpt_mode").unwrap_or_else(|| "full".into()),
             runs: int_field(obj, "runs").unwrap_or(0),
             p50: int_field(cost, "p50").ok_or("missing p50")?,
             p90: int_field(cost, "p90").ok_or("missing p90")?,
             p99: int_field(cost, "p99").ok_or("missing p99")?,
+            bytes_p50: nested("ckpt_bytes").and_then(|b| int_field(b, "p50")).unwrap_or(0),
         });
-        rest = &obj_start[nested + close + 1..];
+        rest = &after[entry_end..];
     }
     if rows.is_empty() {
         return Err("no kernel entries found".into());
@@ -158,43 +173,78 @@ fn main() {
     });
 
     let mut t = Table::new(
-        format!("recovery_trend — {current} vs {base_name} (restart-cost percentiles)"),
+        format!("recovery_trend — {current} vs {base_name} (restart cost + ckpt volume)"),
         &[
             ("kernel", Align::Left),
             ("network", Align::Left),
+            ("ckpt", Align::Left),
             ("p50 ms", Align::Right),
             ("Δp50", Align::Right),
             ("p90 ms", Align::Right),
             ("Δp90", Align::Right),
             ("p99 ms", Align::Right),
             ("Δp99", Align::Right),
+            ("bytes p50 KB", Align::Right),
+            ("Δbytes", Align::Right),
         ],
     );
     let mut matched = 0usize;
     for row in &cur {
-        let b = base.iter().find(|b| b.kernel == row.kernel && b.network == row.network);
-        let (d50, d90, d99) = match b {
+        let b = base
+            .iter()
+            .find(|b| b.kernel == row.kernel && b.network == row.network && b.mode == row.mode);
+        let (d50, d90, d99, db) = match b {
             Some(b) => {
                 matched += 1;
-                (delta(row.p50, b.p50), delta(row.p90, b.p90), delta(row.p99, b.p99))
+                (
+                    delta(row.p50, b.p50),
+                    delta(row.p90, b.p90),
+                    delta(row.p99, b.p99),
+                    delta(row.bytes_p50, b.bytes_p50),
+                )
             }
-            None => ("new".into(), "new".into(), "new".into()),
+            None => ("new".into(), "new".into(), "new".into(), "new".into()),
         };
         t.row(vec![
             row.kernel.clone(),
             row.network.clone(),
+            row.mode.clone(),
             ms(row.p50),
             d50,
             ms(row.p90),
             d90,
             ms(row.p99),
             d99,
+            format!("{:.1}", row.bytes_p50 as f64 / 1024.0),
+            db,
         ]);
     }
     t.print();
+
+    // Incremental-vs-full checkpoint-volume ratio per (kernel, network): the
+    // number the incremental mode is judged on (ci_gate enforces < 1.0 for
+    // the state-carrying kernels; the PR target is < 0.5).
+    for row in &cur {
+        if row.mode != "incr4" || row.bytes_p50 == 0 {
+            continue;
+        }
+        if let Some(full) = cur.iter().find(|f| {
+            f.kernel == row.kernel
+                && f.network == row.network
+                && f.mode == "full"
+                && f.bytes_p50 > 0
+        }) {
+            println!(
+                "ckpt volume {} [{}]: incr4/full = {:.3}",
+                row.kernel,
+                row.network,
+                row.bytes_p50 as f64 / full.bytes_p50 as f64
+            );
+        }
+    }
     for b in &base {
-        if !cur.iter().any(|c| c.kernel == b.kernel && c.network == b.network) {
-            println!("dropped since baseline: {} [{}]", b.kernel, b.network);
+        if !cur.iter().any(|c| c.kernel == b.kernel && c.network == b.network && c.mode == b.mode) {
+            println!("dropped since baseline: {} [{}/{}]", b.kernel, b.network, b.mode);
         }
     }
     println!(

@@ -119,6 +119,35 @@ impl CkptPolicy {
     }
 }
 
+/// How the recovery-line sections are written to the checkpoint store.
+///
+/// The paper lists base-plus-delta incremental checkpointing as ongoing
+/// work (§5): "save only those data that have been modified since the last
+/// checkpoint". [`CkptMode::Incremental`] implements it on the live commit
+/// path via [`statesave::DirtyTracker`]: every `every_n`-th commit writes a
+/// self-contained *base*, the commits between write chunk-granular deltas,
+/// and a restore replays the base-plus-delta chain. The commit marker and
+/// the late-message log are unaffected — only the line sections change
+/// representation, so recovery semantics are bit-for-bit identical.
+///
+/// The `C3_CKPT_MODE` env knob (`full` or `incr:<N>`) overrides the
+/// configured mode at context creation (see `docs/KNOBS.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CkptMode {
+    /// Every checkpoint is self-contained: each line section is written
+    /// whole, every commit.
+    #[default]
+    Full,
+    /// A full base every `every_n` commits; the commits in between write
+    /// only the state chunks that changed (plus hash references for the
+    /// rest). `every_n == 1` degenerates to a base every commit.
+    Incremental {
+        /// Chain length: a base, then `every_n - 1` deltas, then the next
+        /// base. Clamped to at least 1.
+        every_n: u32,
+    },
+}
+
 /// Configuration of the co-ordination layer for one job.
 #[derive(Clone, Debug)]
 pub struct C3Config {
@@ -135,6 +164,11 @@ pub struct C3Config {
     pub initiator: Option<usize>,
     /// Clock backing the timer policy and restart-cost stamps.
     pub clock: Clock,
+    /// Full or base-plus-delta checkpoint representation.
+    pub ckpt_mode: CkptMode,
+    /// Run-length-compress delta payloads (scratch-pool buffers, no steady
+    /// state allocation). Only read in [`CkptMode::Incremental`].
+    pub delta_compress: bool,
 }
 
 impl C3Config {
@@ -146,6 +180,8 @@ impl C3Config {
             policy: CkptPolicy::Never,
             initiator: None,
             clock: Clock::Wall,
+            ckpt_mode: CkptMode::Full,
+            delta_compress: false,
         }
     }
 
@@ -157,6 +193,8 @@ impl C3Config {
             policy: CkptPolicy::AtPragmas(pragmas),
             initiator: Some(0),
             clock: Clock::Wall,
+            ckpt_mode: CkptMode::Full,
+            delta_compress: false,
         }
     }
 
@@ -169,6 +207,18 @@ impl C3Config {
     /// Select the clock backing the timer policy and restart-cost stamps.
     pub fn clock(mut self, c: Clock) -> Self {
         self.clock = c;
+        self
+    }
+
+    /// Select the checkpoint representation ([`CkptMode`]).
+    pub fn ckpt_mode(mut self, m: CkptMode) -> Self {
+        self.ckpt_mode = m;
+        self
+    }
+
+    /// Run-length-compress delta payloads (incremental mode only).
+    pub fn compress_deltas(mut self) -> Self {
+        self.delta_compress = true;
         self
     }
 }
@@ -195,8 +245,21 @@ pub struct C3Stats {
     /// Checkpoints committed.
     pub ckpts_committed: u64,
     /// Bytes written for checkpoints (app+mpi+tables+early at the line,
-    /// late log at commit).
+    /// late log at commit). Under [`CkptMode::Incremental`] this counts the
+    /// delta representation actually written, so it reflects the saving.
     pub ckpt_bytes_written: u64,
+    /// Bytes written for *recovery-line state* only (the seven line
+    /// sections, or their delta representation in incremental mode). This
+    /// is [`C3Stats::ckpt_bytes_written`] minus the commit-time late log,
+    /// which is identical across [`CkptMode`]s — the number that isolates
+    /// what a checkpoint representation costs.
+    pub ckpt_line_bytes: u64,
+    /// Line sections written as self-contained bases (all checkpoints in
+    /// [`CkptMode::Full`]; every `every_n`-th in incremental mode).
+    pub ckpt_bases: u64,
+    /// Line sections written as chunk-granular deltas (incremental mode
+    /// only).
+    pub ckpt_deltas: u64,
     /// Receives served from the replay log during recovery.
     pub replayed_recvs: u64,
     /// Nanoseconds — on the job's [`Clock`] — from context creation to the
@@ -281,6 +344,9 @@ pub struct C3Ctx<'a> {
     pub(crate) attached_buffer: Option<usize>,
     /// Statistics.
     pub(crate) stats: C3Stats,
+    /// Incremental-checkpoint state (`Some` iff the effective mode is
+    /// [`CkptMode::Incremental`]): dirty tracker + chain position.
+    pub(crate) incr: Option<crate::ckpt::IncrCkpt>,
     /// Optional fault injection.
     pub(crate) failure: Option<Arc<FailureTrigger>>,
 }

@@ -124,6 +124,13 @@ impl Job {
         self
     }
 
+    /// Select the checkpoint representation ([`crate::CkptMode`]): full
+    /// sections every commit, or base-plus-delta chains.
+    pub fn ckpt_mode(mut self, m: crate::CkptMode) -> Self {
+        self.cfg.ckpt_mode = m;
+        self
+    }
+
     /// Select the rank scheduler (event-driven by default; the
     /// thread-per-rank oracle pins determinism in equivalence suites).
     pub fn sched(mut self, s: SchedMode) -> Self {

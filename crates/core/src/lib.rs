@@ -32,6 +32,8 @@
 //! State saving (paper §5) is delegated to the `statesave` crate; the
 //! fail-stop fault model and whole-job restart live in [`failure`].
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod ckpt;
 pub mod collectives;
@@ -48,7 +50,7 @@ pub mod requests;
 pub mod tables;
 pub mod topo;
 
-pub use api::{C3Config, C3Ctx, C3Error, C3Stats, CkptPolicy, Clock};
+pub use api::{C3Config, C3Ctx, C3Error, C3Stats, CkptMode, CkptPolicy, Clock};
 pub use comms::{C3Comm, COMM_WORLD_HANDLE};
 #[allow(deprecated)]
 pub use failure::{

@@ -22,6 +22,20 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Parse the `C3_CKPT_MODE` env knob: `full`, or `incr:<N>` /
+/// `incremental:<N>` for [`crate::CkptMode::Incremental`] with
+/// `every_n = N`. Unset or unparseable values leave the configured mode in
+/// force (mirrors how `C3_SCHED` overrides the spec's scheduler).
+fn ckpt_mode_from_env() -> Option<crate::api::CkptMode> {
+    let v = std::env::var("C3_CKPT_MODE").ok()?;
+    let v = v.trim().to_ascii_lowercase();
+    if v == "full" {
+        return Some(crate::api::CkptMode::Full);
+    }
+    let n = v.strip_prefix("incr:").or_else(|| v.strip_prefix("incremental:"))?;
+    n.parse::<u32>().ok().map(|every_n| crate::api::CkptMode::Incremental { every_n })
+}
+
 /// Transport mapping of a logical stream: p2p streams use the application
 /// communicator and tag; collective streams travel on the communicator's
 /// shadow with a tag derived from the deterministic call number.
@@ -36,7 +50,7 @@ impl<'a> C3Ctx<'a> {
     /// Build a fresh (epoch-0) co-ordination layer around a rank.
     pub fn fresh(
         mpi: &'a mut RankCtx,
-        cfg: C3Config,
+        mut cfg: C3Config,
         failure: Option<Arc<FailureTrigger>>,
     ) -> Result<Self> {
         // Op-indexed faults are delegated to the substrate's watchdog so
@@ -49,6 +63,15 @@ impl<'a> C3Ctx<'a> {
                 }
             }
         }
+        if let Some(mode) = ckpt_mode_from_env() {
+            cfg.ckpt_mode = mode;
+        }
+        let incr = match cfg.ckpt_mode {
+            crate::api::CkptMode::Incremental { every_n } => {
+                Some(crate::ckpt::IncrCkpt::new(every_n))
+            }
+            crate::api::CkptMode::Full => None,
+        };
         let n = mpi.nranks();
         let store = CkptStore::new(&cfg.store_root)?;
         Ok(C3Ctx {
@@ -76,6 +99,7 @@ impl<'a> C3Ctx<'a> {
             wall_origin: Instant::now(),
             attached_buffer: None,
             stats: Default::default(),
+            incr,
             failure,
         })
     }

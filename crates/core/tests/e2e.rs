@@ -490,6 +490,8 @@ fn timer_policy_triggers_and_idles() {
         policy: CkptPolicy::Timer(Duration::from_secs(3600)),
         initiator: Some(0),
         clock: Clock::Wall,
+        ckpt_mode: c3::CkptMode::Full,
+        delta_compress: false,
     };
     let out = Job::new(2, cfg_idle)
         .run(|ctx| {
@@ -508,6 +510,8 @@ fn timer_policy_triggers_and_idles() {
         policy: CkptPolicy::Timer(Duration::ZERO),
         initiator: Some(0),
         clock: Clock::Wall,
+        ckpt_mode: c3::CkptMode::Full,
+        delta_compress: false,
     };
     let st_timer_base_24 = tmp_store("timer-base");
     let baseline = Job::new(2, C3Config::passive(st_timer_base_24.path()))
@@ -568,6 +572,8 @@ fn virtual_time_timer_trace_is_bit_for_bit_reproducible() {
             policy: CkptPolicy::Timer(Duration::from_millis(1)),
             initiator: Some(0),
             clock: Clock::Virtual,
+            ckpt_mode: c3::CkptMode::Full,
+            delta_compress: false,
         };
         Job::new(3, cfg).clock(Clock::Virtual).run(|ctx| token_app(ctx, 24)).unwrap()
     };

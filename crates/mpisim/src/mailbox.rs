@@ -20,7 +20,7 @@
 //! A signature that keeps being claimed exactly (no wildcards) is the
 //! steady-state shape of every point-to-point loop in the NPB kernels. After
 //! [`PROMOTE_AFTER`] consecutive exact claims of one signature the mailbox
-//! *promotes* it to a [`Lane`]: a dedicated queue with its own lock, so the
+//! *promotes* it to a `Lane`: a dedicated queue with its own lock, so the
 //! delivering sender no longer contends on the main shelf mutex or touches
 //! the front index at all. Promotion and demotion are decided purely by the
 //! receiver's claim sequence — never by timing — so a failure-free run makes

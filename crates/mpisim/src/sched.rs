@@ -18,7 +18,7 @@
 //!
 //! Each rank still owns a (small-stack) carrier thread — its resumable
 //! task's stack — but at most `workers` of them are runnable at once (the
-//! [`Gate`]); the rest are parked on per-rank epoch [`Parker`]s and consume
+//! `Gate`); the rest are parked on per-rank epoch `Parker`s and consume
 //! no CPU. Parking replaces the old 200 µs progress polling: a blocked rank
 //! sleeps until an event that can change its condition *wakes* it (a mailbox
 //! delivery, a credit grant, rank completion, poison). At 4096 ranks the
@@ -39,7 +39,7 @@
 //! `committed` flag guarantees at most one condvar notify per actual sleep.
 //!
 //! A futex round trip costs ~2.5 µs of thread handoff on the bench host;
-//! a `yield_now` handoff costs ~0.6 µs. Small jobs (≤ [`SPIN_RANK_CAP`]
+//! a `yield_now` handoff costs ~0.6 µs. Small jobs (≤ `SPIN_RANK_CAP`
 //! ranks, override with `C3_PARK_SPIN`; `0` disables) therefore spin-yield
 //! a bounded number of times — watching the epoch atomic, *after* yielding
 //! their worker slot — before committing to a condvar sleep. Tight

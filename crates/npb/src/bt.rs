@@ -53,13 +53,18 @@ fn blk_zero() -> Blk {
     [0.0; NB * NB]
 }
 
-/// The diagonal block `B = (1+2λ)I + κK` where `K` cyclically couples the
-/// components; strictly diagonally dominant for `κ < (1+2λ)/2`.
+/// The diagonal block `B = (1+2λ+κ)I + (κ/2)(J−I)` where `J` is the
+/// all-ones matrix: each component couples symmetrically to the other two.
+/// The symmetric coupling keeps the per-step iteration matrix's spectrum
+/// real and inside the unit disk, so the field contracts monotonically onto
+/// the forcing-driven steady state. Strictly diagonally dominant for any
+/// `κ > 0` (off-diagonal row sum `κ` vs diagonal `1+2λ+κ`).
 fn diag_block(lambda: f64, kappa: f64) -> Blk {
     let mut b = blk_zero();
     for i in 0..NB {
-        b[i * NB + i] = 1.0 + 2.0 * lambda;
-        b[i * NB + (i + 1) % NB] = kappa;
+        for j in 0..NB {
+            b[i * NB + j] = if i == j { 1.0 + 2.0 * lambda + kappa } else { 0.5 * kappa };
+        }
     }
     b
 }
@@ -191,17 +196,27 @@ struct BtState {
     step: u64,
     /// rows × n × NB, row-major.
     u: Vec<f64>,
+    /// Static source term, same shape as `u` — NPB BT keeps its
+    /// manufactured-solution `forcing` array live for the whole run, so the
+    /// checkpointed state carries it too (it never changes after setup,
+    /// which is exactly what incremental checkpointing exploits).
+    forcing: Vec<f64>,
 }
 
 impl BtState {
     fn save(&self, e: &mut Encoder) {
         e.u64(self.step);
         e.f64_slice(&self.u);
+        e.f64_slice(&self.forcing);
     }
     fn load(b: &[u8]) -> Result<Self, MpiError> {
         let mut d = Decoder::new(b);
         let conv = |e: statesave::codec::CodecError| MpiError::Internal(e.to_string());
-        Ok(BtState { step: d.u64().map_err(conv)?, u: d.f64_vec().map_err(conv)? })
+        Ok(BtState {
+            step: d.u64().map_err(conv)?,
+            u: d.f64_vec().map_err(conv)?,
+            forcing: d.f64_vec().map_err(conv)?,
+        })
     }
 }
 
@@ -314,7 +329,11 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &BtConfig) -> Result<f64, MpiError> {
                     ((g.wrapping_mul(0x9E3779B97F4A7C15) >> 34) % 1000) as f64 / 1000.0
                 })
                 .collect();
-            BtState { step: 0, u }
+            // Mild static forcing keeps the field from decaying to zero.
+            let forcing: Vec<f64> = (0..rows * n * NB)
+                .map(|k| 1e-3 * (((lo * n * NB + k) % 11) as f64 - 5.0))
+                .collect();
+            BtState { step: 0, u, forcing }
         }
     };
 
@@ -325,9 +344,8 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &BtConfig) -> Result<f64, MpiError> {
         }
         // y-direction block solves: pipelined across ranks.
         y_solve(comm, &mut st.u, n, cfg.lambda, cfg.kappa)?;
-        // Mild forcing keeps the field from decaying to zero.
-        for (k, v) in st.u.iter_mut().enumerate() {
-            *v += 1e-3 * (((lo * n * NB + k) % 11) as f64 - 5.0);
+        for (v, f) in st.u.iter_mut().zip(&st.forcing) {
+            *v += f;
         }
         st.step += 1;
         // Checkpoint location at the bottom of the time-step loop, as for SP.

@@ -12,9 +12,18 @@
 //! loop in `hypre_SMGSolve`, and five more throughout `main` — "a mixture of
 //! locations both inside and outside main computation loops". We mirror
 //! that: the saved state carries a phase marker *and*, for the in-V-cycle
-//! location, the V-cycle's own descent progress — the moral equivalent of
+//! location, the V-cycle's own descent position — the moral equivalent of
 //! the C³ precompiler saving the execution context so recovery resumes at
 //! the pragma, not at some earlier loop head.
+//!
+//! Like hypre, the solver preallocates its level hierarchy once (`vf`/`vu`,
+//! one RHS and one correction array per ladder level) and the V-cycle writes
+//! into those arrays in place. The checkpoint therefore always dumps the
+//! same fixed memory regions — levels the current descent has not reached
+//! yet simply still hold the previous cycle's values, exactly as the C
+//! original's heap would. A layout that is identical at every pragma site is
+//! also what lets incremental checkpointing patch chunks instead of
+//! rewriting them.
 
 use crate::backend::{Comm, Op};
 use crate::grid::{apply_helmholtz, gather_solve_bcast, h2_of, jacobi, prolong_add, restrict_fw};
@@ -57,8 +66,8 @@ enum Phase {
     PreSolve,
     /// Inside `hypre_PCGSolve` at iteration `iter`, top of the loop.
     Solve,
-    /// Inside the preconditioner V-cycle of iteration `iter`
-    /// (`vcycle` carries the descent progress).
+    /// Inside the preconditioner V-cycle of iteration `iter` (`lvl` carries
+    /// the descent position; `vf`/`vu` hold the per-level data).
     SolveInVcycle,
     /// After the solve (two pragmas in `main`).
     PostSolve,
@@ -86,53 +95,6 @@ impl Phase {
     }
 }
 
-/// Descent progress of a V-cycle, saved when a checkpoint is taken at the
-/// in-V-cycle pragma (top of the `hypre_SMGSolve` descent loop).
-#[derive(Clone, Debug, Default)]
-struct VcycleProgress {
-    /// Next level to process.
-    lvl: usize,
-    /// The RHS/residual handed to level `lvl`.
-    cur: Vec<f64>,
-    /// Per-finished-level residuals (for post-smoothing on ascent).
-    rs: Vec<Vec<f64>>,
-    /// Per-finished-level corrections so far.
-    us: Vec<Vec<f64>>,
-}
-
-impl VcycleProgress {
-    fn start(r: &[f64]) -> Self {
-        VcycleProgress { lvl: 0, cur: r.to_vec(), rs: Vec::new(), us: Vec::new() }
-    }
-    fn save(&self, e: &mut Encoder) {
-        e.usize(self.lvl);
-        e.f64_slice(&self.cur);
-        e.usize(self.rs.len());
-        for v in &self.rs {
-            e.f64_slice(v);
-        }
-        e.usize(self.us.len());
-        for v in &self.us {
-            e.f64_slice(v);
-        }
-    }
-    fn load(d: &mut Decoder) -> Result<Self, MpiError> {
-        let lvl = d.usize().map_err(conv)?;
-        let cur = d.f64_vec().map_err(conv)?;
-        let nr = d.usize().map_err(conv)?;
-        let mut rs = Vec::with_capacity(nr);
-        for _ in 0..nr {
-            rs.push(d.f64_vec().map_err(conv)?);
-        }
-        let nu = d.usize().map_err(conv)?;
-        let mut us = Vec::with_capacity(nu);
-        for _ in 0..nu {
-            us.push(d.f64_vec().map_err(conv)?);
-        }
-        Ok(VcycleProgress { lvl, cur, rs, us })
-    }
-}
-
 #[derive(Clone, Debug)]
 struct SmgState {
     phase: Phase,
@@ -142,8 +104,15 @@ struct SmgState {
     pdir: Vec<f64>,
     rho: f64,
     rhs: Vec<f64>,
-    /// Present only in [`Phase::SolveInVcycle`].
-    vprog: Option<VcycleProgress>,
+    /// Descent position of the in-flight V-cycle; meaningful only in
+    /// [`Phase::SolveInVcycle`] (stale otherwise, like any C local).
+    lvl: usize,
+    /// Per-level V-cycle RHS arrays (`vf[0]` receives the residual handed
+    /// to the preconditioner), allocated once at setup like hypre's level
+    /// hierarchy and overwritten in place by each descent.
+    vf: Vec<Vec<f64>>,
+    /// Per-level correction arrays, same lifecycle as `vf`.
+    vu: Vec<Vec<f64>>,
 }
 
 impl SmgState {
@@ -156,21 +125,20 @@ impl SmgState {
             pdir: Vec::new(),
             rho: 0.0,
             rhs: Vec::new(),
-            vprog: None,
+            lvl: 0,
+            vf: Vec::new(),
+            vu: Vec::new(),
         }
     }
     fn save(&self, e: &mut Encoder) {
-        e.u8(self.phase.code());
-        e.u64(self.iter);
-        e.f64_slice(&self.x);
-        e.f64_slice(&self.r);
-        e.f64_slice(&self.pdir);
-        e.f64(self.rho);
-        e.f64_slice(&self.rhs);
-        e.bool(self.vprog.is_some());
-        if let Some(v) = &self.vprog {
-            v.save(e);
-        }
+        save_parts(
+            (self.phase, self.iter, self.rho),
+            (&self.x, &self.r, &self.pdir, &self.rhs),
+            self.lvl,
+            &self.vf,
+            &self.vu,
+            e,
+        );
     }
     fn load(b: &[u8]) -> Result<Self, MpiError> {
         let mut d = Decoder::new(b);
@@ -181,9 +149,15 @@ impl SmgState {
         let pdir = d.f64_vec().map_err(conv)?;
         let rho = d.f64().map_err(conv)?;
         let rhs = d.f64_vec().map_err(conv)?;
-        let has_v = d.bool().map_err(conv)?;
-        let vprog = if has_v { Some(VcycleProgress::load(&mut d)?) } else { None };
-        Ok(SmgState { phase, iter, x, r, pdir, rho, rhs, vprog })
+        let lvl = d.usize().map_err(conv)?;
+        let levels = d.usize().map_err(conv)?;
+        let mut vf = Vec::with_capacity(levels);
+        let mut vu = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            vf.push(d.f64_vec().map_err(conv)?);
+            vu.push(d.f64_vec().map_err(conv)?);
+        }
+        Ok(SmgState { phase, iter, x, r, pdir, rho, rhs, lvl, vf, vu })
     }
 }
 
@@ -202,60 +176,63 @@ fn level_sizes(n_global: usize) -> Vec<usize> {
     sizes
 }
 
-/// One V-cycle of the multigrid preconditioner, resumable: `start` is either
-/// [`VcycleProgress::start`] or the progress restored from a checkpoint.
-/// `pragma` fires at the top of every descent level (the paper's
-/// `hypre_SMGSolve` pragma) with the progress it would need to save.
+/// Checkpoint-pragma callback fired at the top of every descent level with
+/// `(comm, level, vf, vu)` — the position and hierarchy a save would need.
+type PragmaFn<'a, C> =
+    dyn FnMut(&mut C, usize, &[Vec<f64>], &[Vec<f64>]) -> Result<(), MpiError> + 'a;
+
+/// One V-cycle of the multigrid preconditioner over the preallocated level
+/// hierarchy, resumable: `start_lvl` is 0 for a fresh cycle or the descent
+/// position restored from a checkpoint (with `vf[0..=start_lvl]` and
+/// `vu[0..start_lvl]` already holding this cycle's data). `pragma` fires at
+/// the top of every descent level (the paper's `hypre_SMGSolve` pragma).
 fn vcycle<C: Comm>(
     comm: &mut C,
     n_global: usize,
     smooth: usize,
-    start: VcycleProgress,
-    pragma: &mut dyn FnMut(&mut C, &VcycleProgress) -> Result<(), MpiError>,
+    start_lvl: usize,
+    vf: &mut [Vec<f64>],
+    vu: &mut [Vec<f64>],
+    pragma: &mut PragmaFn<'_, C>,
 ) -> Result<Vec<f64>, MpiError> {
     let sizes = level_sizes(n_global);
     let levels = sizes.len();
+    debug_assert_eq!(vf.len(), levels);
 
-    // Descend: smooth, compute residual, restrict.
-    let mut prog = start;
-    while prog.lvl < levels {
-        pragma(comm, &prog)?;
-        let lvl = prog.lvl;
+    // Descend: smooth, compute residual, restrict. Arrays beyond the
+    // current level keep the previous cycle's bytes until overwritten.
+    for lvl in start_lvl..levels {
+        pragma(comm, lvl, vf, vu)?;
         let nl = sizes[lvl];
         if lvl + 1 < levels {
-            let mut u = vec![0.0; prog.cur.len()];
-            jacobi(comm, &mut u, &prog.cur, h2_of(nl), smooth, 300 + 20 * lvl as i32)?;
-            let au = apply_helmholtz(comm, &u, h2_of(nl), 400 + 20 * lvl as i32)?;
-            let res: Vec<f64> = prog.cur.iter().zip(&au).map(|(f, a)| f - a).collect();
+            vu[lvl].fill(0.0);
+            jacobi(comm, &mut vu[lvl], &vf[lvl], h2_of(nl), smooth, 300 + 20 * lvl as i32)?;
+            let au = apply_helmholtz(comm, &vu[lvl], h2_of(nl), 400 + 20 * lvl as i32)?;
+            let res: Vec<f64> = vf[lvl].iter().zip(&au).map(|(f, a)| f - a).collect();
             let coarse = restrict_fw(comm, &res, 500 + 20 * lvl as i32)?;
-            let fine_rhs = std::mem::replace(&mut prog.cur, coarse);
-            prog.rs.push(fine_rhs);
-            prog.us.push(u);
+            vf[lvl + 1].copy_from_slice(&coarse);
         } else {
             // Coarsest level: exact gather-solve-broadcast (hypre-style),
             // identical for every rank count.
-            let u = gather_solve_bcast(comm, &prog.cur, nl, h2_of(nl))?;
-            prog.rs.push(std::mem::take(&mut prog.cur));
-            prog.us.push(u);
+            let u = gather_solve_bcast(comm, &vf[lvl], nl, h2_of(nl))?;
+            vu[lvl].copy_from_slice(&u);
         }
-        prog.lvl += 1;
     }
 
-    // Ascend: prolong and post-smooth (no pragmas; the paper's SMG pragma is
-    // in the descent loop).
-    let mut correction = prog.us.pop().expect("V-cycle produced no levels");
-    prog.rs.pop();
+    // Ascend: prolong and post-smooth in place (no pragmas; the paper's SMG
+    // pragma is in the descent loop).
+    let mut correction = vu[levels - 1].clone();
     for lvl in (0..levels - 1).rev() {
-        let mut u = prog.us.pop().expect("missing level correction");
-        let f = prog.rs.pop().expect("missing level RHS");
-        prolong_add(comm, &correction, &mut u, 700 + 20 * lvl as i32)?;
-        jacobi(comm, &mut u, &f, h2_of(sizes[lvl]), smooth, 800 + 20 * lvl as i32)?;
-        correction = u;
+        prolong_add(comm, &correction, &mut vu[lvl], 700 + 20 * lvl as i32)?;
+        jacobi(comm, &mut vu[lvl], &vf[lvl], h2_of(sizes[lvl]), smooth, 800 + 20 * lvl as i32)?;
+        correction.clone_from(&vu[lvl]);
     }
     Ok(correction)
 }
 
-/// Finish one PCG iteration given the preconditioned residual `z`.
+/// Finish one PCG iteration given the preconditioned residual `z`. The
+/// level hierarchy is left as the finished cycle wrote it — stale data,
+/// exactly like hypre's heap between preconditioner applications.
 fn finish_iteration<C: Comm>(comm: &mut C, st: &mut SmgState, z: Vec<f64>) -> Result<(), MpiError> {
     let local_rz: f64 = st.r.iter().zip(&z).map(|(a, b)| a * b).sum();
     let rho_new = comm.allreduce_f64(local_rz, Op::Sum)?;
@@ -266,8 +243,24 @@ fn finish_iteration<C: Comm>(comm: &mut C, st: &mut SmgState, z: Vec<f64>) -> Re
     st.rho = rho_new;
     st.iter += 1;
     st.phase = Phase::Solve;
-    st.vprog = None;
     Ok(())
+}
+
+/// Run one preconditioner application (V-cycle) for `st`, firing the
+/// in-V-cycle pragma at every descent level. Split-borrows the state so the
+/// pragma closure can encode the scalars and solver vectors while `vcycle`
+/// mutates the level hierarchy.
+fn precondition<C: Comm>(
+    comm: &mut C,
+    n: usize,
+    smooth: usize,
+    st: &mut SmgState,
+) -> Result<Vec<f64>, MpiError> {
+    let SmgState { phase, iter, rho, x, r, pdir, rhs, lvl, vf, vu } = st;
+    let (head, tail) = ((*phase, *iter, *rho), (&x[..], &r[..], &pdir[..], &rhs[..]));
+    vcycle(comm, n, smooth, *lvl, vf, vu, &mut |c, at, f, u| {
+        c.pragma(&mut |e| save_parts(head, tail, at, f, u, e)).map(|_| ())
+    })
 }
 
 /// Run SMG; returns the solution norm.
@@ -297,6 +290,11 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &SmgConfig) -> Result<f64, MpiError> {
             })
             .collect();
         st.x = vec![0.0; nl];
+        // Allocate the level hierarchy once, hypre-style (per-rank slices
+        // of each ladder level).
+        let lsizes: Vec<usize> = level_sizes(n).iter().map(|s| s / p).collect();
+        st.vf = lsizes.iter().map(|&s| vec![0.0; s]).collect();
+        st.vu = lsizes.iter().map(|&s| vec![0.0; s]).collect();
         st.phase = Phase::PreSolve;
     }
 
@@ -306,7 +304,12 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &SmgConfig) -> Result<f64, MpiError> {
         // r = rhs - A·0 = rhs; z = M⁻¹ r; p = z; rho = <r, z>.
         st.r = st.rhs.clone();
         comm.pragma(&mut |e| st.save(e))?;
-        let z = vcycle(comm, n, cfg.smooth, VcycleProgress::start(&st.r), &mut |_c, _v| Ok(()))?;
+        st.vf[0].copy_from_slice(&st.r);
+        st.lvl = 0;
+        let z = {
+            let SmgState { vf, vu, .. } = &mut st;
+            vcycle(comm, n, cfg.smooth, 0, vf, vu, &mut |_c, _l, _f, _u| Ok(()))?
+        };
         let local: f64 = st.r.iter().zip(&z).map(|(a, b)| a * b).sum();
         st.rho = comm.allreduce_f64(local, Op::Sum)?;
         st.pdir = z;
@@ -315,18 +318,11 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &SmgConfig) -> Result<f64, MpiError> {
 
     // --- hypre_PCGSolve (pragmas #4 at loop top, #5 inside the V-cycle) ---
     loop {
-        // A restored in-V-cycle state re-enters here first.
+        // A restored in-V-cycle state re-enters here first: resume the
+        // preconditioner from the saved descent position. A further
+        // checkpoint inside the resumed V-cycle is again possible.
         if st.phase == Phase::SolveInVcycle {
-            let prog = st.vprog.take().expect("SolveInVcycle state without progress");
-            // Resume the preconditioner from the saved descent position. A
-            // further checkpoint inside the resumed V-cycle is again
-            // possible, hence the same save closure.
-            let z = {
-                let (head, tail) = split_state(&st);
-                vcycle(comm, n, cfg.smooth, prog, &mut |c, v| {
-                    c.pragma(&mut |e| save_with_vprog(head, tail, v, e)).map(|_| ())
-                })?
-            };
+            let z = precondition(comm, n, cfg.smooth, &mut st)?;
             finish_iteration(comm, &mut st, z)?;
             continue;
         }
@@ -353,15 +349,11 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &SmgConfig) -> Result<f64, MpiError> {
             st.r[i] -= alpha * ap[i];
         }
         // Preconditioner with the in-V-cycle pragma: the state saved there
-        // marks this exact position (SolveInVcycle + descent progress).
+        // marks this exact position (SolveInVcycle + descent level).
         st.phase = Phase::SolveInVcycle;
-        let z = {
-            let start = VcycleProgress::start(&st.r);
-            let (head, tail) = split_state(&st);
-            vcycle(comm, n, cfg.smooth, start, &mut |c, v| {
-                c.pragma(&mut |e| save_with_vprog(head, tail, v, e)).map(|_| ())
-            })?
-        };
+        st.vf[0].copy_from_slice(&st.r);
+        st.lvl = 0;
+        let z = precondition(comm, n, cfg.smooth, &mut st)?;
         finish_iteration(comm, &mut st, z)?;
     }
 
@@ -374,15 +366,22 @@ pub fn run<C: Comm>(comm: &mut C, cfg: &SmgConfig) -> Result<f64, MpiError> {
 }
 
 /// Borrow split so the V-cycle pragma can encode the full state (scalars +
-/// vectors) while `vcycle` independently owns the progress being saved.
+/// solver vectors) while `vcycle` independently mutates the hierarchy.
 type StateHead = (Phase, u64, f64);
 type StateTail<'a> = (&'a [f64], &'a [f64], &'a [f64], &'a [f64]);
 
-fn split_state(st: &SmgState) -> (StateHead, StateTail<'_>) {
-    ((st.phase, st.iter, st.rho), (&st.x, &st.r, &st.pdir, &st.rhs))
-}
-
-fn save_with_vprog(head: StateHead, tail: StateTail<'_>, v: &VcycleProgress, e: &mut Encoder) {
+/// The single serialization shape every pragma site uses: scalars, the four
+/// solver vectors, the descent position, then the whole level hierarchy.
+/// Post-setup the encoded length is identical at every site (see the module
+/// doc on fixed layouts and incremental checkpointing).
+fn save_parts(
+    head: StateHead,
+    tail: StateTail<'_>,
+    lvl: usize,
+    vf: &[Vec<f64>],
+    vu: &[Vec<f64>],
+    e: &mut Encoder,
+) {
     let (phase, iter, rho) = head;
     let (x, r, pdir, rhs) = tail;
     e.u8(phase.code());
@@ -392,8 +391,12 @@ fn save_with_vprog(head: StateHead, tail: StateTail<'_>, v: &VcycleProgress, e: 
     e.f64_slice(pdir);
     e.f64(rho);
     e.f64_slice(rhs);
-    e.bool(true);
-    v.save(e);
+    e.usize(lvl);
+    e.usize(vf.len());
+    for (f, u) in vf.iter().zip(vu) {
+        e.f64_slice(f);
+        e.f64_slice(u);
+    }
 }
 
 #[cfg(test)]
@@ -406,7 +409,11 @@ mod tests {
             let n = 256usize;
             let f: Vec<f64> =
                 (0..n).map(|g| (2.0 * std::f64::consts::PI * g as f64 / n as f64).sin()).collect();
-            let z = vcycle(ctx, n, 2, VcycleProgress::start(&f), &mut |_c, _v| Ok(()))?;
+            let sizes = level_sizes(n);
+            let mut vf: Vec<Vec<f64>> = sizes.iter().map(|&s| vec![0.0; s]).collect();
+            let mut vu = vf.clone();
+            vf[0].copy_from_slice(&f);
+            let z = vcycle(ctx, n, 2, 0, &mut vf, &mut vu, &mut |_c, _l, _f, _u| Ok(()))?;
             let az = apply_helmholtz(ctx, &z, h2_of(n), 900)?;
             let res: f64 = f.iter().zip(&az).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             let f0: f64 = f.iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -431,17 +438,14 @@ mod tests {
         let st = SmgState {
             phase: Phase::SolveInVcycle,
             iter: 7,
-            x: vec![1.0, 2.0],
-            r: vec![3.0],
-            pdir: vec![4.0, 5.0, 6.0],
+            x: vec![1.0, 2.0, 3.0, 4.0],
+            r: vec![3.0; 4],
+            pdir: vec![4.0, 5.0, 6.0, 7.0],
             rho: 0.25,
-            rhs: vec![9.0],
-            vprog: Some(VcycleProgress {
-                lvl: 2,
-                cur: vec![1.5],
-                rs: vec![vec![1.0], vec![2.0, 3.0]],
-                us: vec![vec![4.0]],
-            }),
+            rhs: vec![9.0; 4],
+            lvl: 1,
+            vf: vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0], vec![7.0]],
+            vu: vec![vec![8.0, 9.0, 10.0, 11.0], vec![12.0, 13.0], vec![14.0]],
         };
         let mut e = Encoder::new();
         st.save(&mut e);
@@ -450,10 +454,39 @@ mod tests {
         assert_eq!(back.iter, st.iter);
         assert_eq!(back.x, st.x);
         assert_eq!(back.rho, st.rho);
-        let v = back.vprog.unwrap();
-        assert_eq!(v.lvl, 2);
-        assert_eq!(v.rs.len(), 2);
-        assert_eq!(v.us.len(), 1);
+        assert_eq!(back.lvl, st.lvl);
+        assert_eq!(back.vf, st.vf);
+        assert_eq!(back.vu, st.vu);
+    }
+
+    /// Every post-setup pragma site must produce an identically shaped
+    /// encoding (same length, same field offsets) regardless of whether —
+    /// or how deep — a V-cycle is in flight, or incremental checkpointing
+    /// cannot patch chunks across commits.
+    #[test]
+    fn serialized_layout_is_pragma_site_invariant() {
+        let base = SmgState {
+            phase: Phase::Solve,
+            iter: 3,
+            x: vec![1.0; 4],
+            r: vec![2.0; 4],
+            pdir: vec![3.0; 4],
+            rho: 1.0,
+            rhs: vec![4.0; 4],
+            lvl: 0,
+            vf: vec![vec![1.0; 4], vec![2.0; 2], vec![3.0; 1]],
+            vu: vec![vec![4.0; 4], vec![5.0; 2], vec![6.0; 1]],
+        };
+        let mut lens = Vec::new();
+        for (phase, lvl) in
+            [(Phase::Solve, 2), (Phase::SolveInVcycle, 0), (Phase::SolveInVcycle, 2)]
+        {
+            let st = SmgState { phase, lvl, ..base.clone() };
+            let mut e = Encoder::new();
+            st.save(&mut e);
+            lens.push(e.finish().len());
+        }
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "layout varies by site: {lens:?}");
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! * [`incremental`] — incremental checkpointing (listed as ongoing work in
 //!   §5/§8 of the paper; implemented here as an extension).
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod incremental;
 pub mod memmgr;
@@ -31,7 +33,10 @@ pub mod slc;
 pub mod store;
 
 pub use codec::{Decoder, Encoder, Saveable};
-pub use incremental::IncrementalSaver;
+pub use incremental::{
+    plane_compress, plane_decompress, rle_compress, rle_decompress, Delta, DirtyTracker,
+    IncrementalSaver, DEFAULT_CHUNK_SIZE,
+};
 pub use memmgr::{scratch, CkptHeap, ObjId, ScratchPool};
 pub use registry::{TypeCode, VarDesc, VariableRegistry};
 pub use slc::SlcCheckpointer;

@@ -165,6 +165,8 @@ fn rank1_initiates(store: &TempStore) -> C3Config {
         policy: CkptPolicy::EveryNth(1),
         initiator: Some(1),
         clock: Clock::Wall,
+        ckpt_mode: c3::CkptMode::Full,
+        delta_compress: false,
     }
 }
 
@@ -448,6 +450,8 @@ fn chaos_plans_under_tight_mailboxes_stay_bit_identical() {
             policy: CkptPolicy::EveryNth(3),
             initiator: None,
             clock: Clock::Wall,
+            ckpt_mode: c3::CkptMode::Full,
+            delta_compress: false,
         }
     }
     let base_store = TempStore::new("bp-chaos-base");

@@ -187,6 +187,8 @@ fn concurrent_initiators_commit_and_recover() {
         policy: CkptPolicy::EveryNth(5),
         initiator: None, // every rank initiates
         clock: c3::Clock::Wall,
+        ckpt_mode: c3::CkptMode::Full,
+        delta_compress: false,
     };
     let sanity = c3::Job::new(4, cfg)
         .run(|ctx| {
@@ -208,6 +210,8 @@ fn concurrent_initiators_commit_and_recover() {
         policy: CkptPolicy::EveryNth(5),
         initiator: None,
         clock: c3::Clock::Wall,
+        ckpt_mode: c3::CkptMode::Full,
+        delta_compress: false,
     };
     let plan = FailurePlan { rank: 3, when: FailAt::AfterCommits { commits: 2, pragma: 14 } };
     let rec = c3::Job::new(4, cfg2).failure(plan).run(app).unwrap();

@@ -75,6 +75,8 @@ fn chaos_cfg(store: &TempStore) -> C3Config {
         policy: CkptPolicy::EveryNth(3),
         initiator: None,
         clock: Clock::Wall,
+        ckpt_mode: c3::CkptMode::Full,
+        delta_compress: false,
     }
 }
 
